@@ -1,0 +1,89 @@
+// Command asyncio-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	asyncio-bench -list
+//	asyncio-bench -exp fig3a
+//	asyncio-bench -exp all -scale reduced
+//	asyncio-bench -exp fig8 -scale full
+//
+// Every experiment prints an aligned text table with the same series
+// the paper plots (measured sync/async plus the model's estimates).
+// The full scale reproduces the paper's node counts — up to 2,048
+// Summit nodes (12,288 ranks) — and takes minutes; the reduced scale
+// finishes in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"asyncio/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list) or \"all\"")
+		scale   = flag.String("scale", "reduced", "sweep scale: reduced or full")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		timings = flag.Bool("timings", false, "print wall-clock time per experiment")
+	)
+	flag.Parse()
+
+	reg := experiments.Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: asyncio-bench -exp <id>|all [-scale reduced|full]")
+		fmt.Fprintln(os.Stderr, "known experiments:", ids)
+		os.Exit(2)
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "reduced":
+		sc = experiments.ReducedScale()
+	case "full":
+		sc = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want reduced or full)\n", *scale)
+		os.Exit(2)
+	}
+
+	run := ids
+	if *exp != "all" {
+		if reg[*exp] == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %v\n", *exp, ids)
+			os.Exit(2)
+		}
+		run = []string{*exp}
+	}
+	for _, id := range run {
+		start := time.Now()
+		tab, err := reg[id](sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := tab.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: rendering: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *timings {
+			fmt.Printf("(%s generated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Command asyncio-trace runs one workload on a simulated system and
+// writes its per-epoch trace as CSV — the input format cmd/iomodel fits
+// the paper's model to. Together they form the offline half of the
+// feedback loop: capture a history, fit the model, decide the mode.
+//
+// Usage:
+//
+//	asyncio-trace -workload vpic -system summit -nodes 16 -mode adaptive -steps 8 -o trace.csv
+//	asyncio-trace -workload bdcats -system cori -nodes 4 -mode async
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"asyncio/internal/core"
+	"asyncio/internal/systems"
+	"asyncio/internal/trace"
+	"asyncio/internal/vclock"
+	"asyncio/internal/workloads/bdcats"
+	"asyncio/internal/workloads/castro"
+	"asyncio/internal/workloads/eqsim"
+	"asyncio/internal/workloads/nyx"
+	"asyncio/internal/workloads/vpicio"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "vpic", "vpic | bdcats | nyx | castro | eqsim")
+		system   = flag.String("system", "summit", "summit | cori")
+		nodes    = flag.Int("nodes", 16, "allocation size in nodes")
+		modeStr  = flag.String("mode", "adaptive", "sync | async | adaptive")
+		steps    = flag.Int("steps", 8, "epochs (checkpoints/time steps)")
+		compute  = flag.Duration("compute", 30*time.Second, "computation phase per epoch")
+		out      = flag.String("o", "", "output CSV path (default stdout)")
+	)
+	flag.Parse()
+
+	var mode core.Mode
+	switch *modeStr {
+	case "sync":
+		mode = core.ForceSync
+	case "async":
+		mode = core.ForceAsync
+	case "adaptive":
+		mode = core.Adaptive
+	default:
+		fatalf("unknown mode %q", *modeStr)
+	}
+	clk := vclock.New()
+	var sys *systems.System
+	switch *system {
+	case "summit":
+		sys = systems.Summit(clk, *nodes)
+	case "cori":
+		sys = systems.CoriHaswell(clk, *nodes)
+	default:
+		fatalf("unknown system %q", *system)
+	}
+
+	var rep *core.Report
+	var err error
+	switch *workload {
+	case "vpic":
+		rep, _, err = vpicio.Run(sys, vpicio.Config{Steps: *steps, ComputeTime: *compute, Mode: mode})
+	case "bdcats":
+		rep, err = bdcats.Run(sys, bdcats.Config{Steps: *steps, ComputeTime: *compute, Mode: mode}, nil)
+	case "nyx":
+		cfg := nyx.SmallConfig()
+		cfg.Plotfiles = *steps
+		cfg.Mode = mode
+		rep, err = nyx.Run(sys, cfg)
+	case "castro":
+		rep, err = castro.Run(sys, castro.Config{Checkpoints: *steps, ComputeTime: *compute, Mode: mode})
+	case "eqsim":
+		rep, err = eqsim.Run(sys, eqsim.Config{Checkpoints: *steps, Mode: mode})
+	default:
+		fatalf("unknown workload %q", *workload)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteCSV(w, rep.Run.Records); err != nil {
+		fatalf("writing CSV: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "%s on %s, %d nodes (%d ranks), %d epochs, mode=%s: total %v, peak %.2f GB/s\n",
+		*workload, sys.Name, sys.Nodes(), rep.Run.Ranks, len(rep.Run.Records), *modeStr,
+		rep.Run.TotalTime().Round(time.Millisecond), rep.Run.PeakRate()/1e9)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "asyncio-trace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command h5ls lists the contents of a container file written by this
+// library's hdf5 layer (the AHDF format), in the spirit of HDF5's h5ls:
+// the group tree, dataset shapes, types, layouts and attributes.
+//
+// Usage:
+//
+//	h5ls file.ah5
+//	h5ls -v file.ah5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"asyncio/internal/hdf5"
+)
+
+var verbose = flag.Bool("v", false, "also print attributes")
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: h5ls [-v] <file>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	store, err := hdf5.OpenFileStore(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "h5ls: %v\n", err)
+		os.Exit(1)
+	}
+	defer store.Close()
+	f, err := hdf5.Open(store)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "h5ls: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s (eof %d bytes)\n", path, f.EOF())
+	if err := listGroup(f.Root(), "/", 0); err != nil {
+		fmt.Fprintf(os.Stderr, "h5ls: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func listGroup(g *hdf5.Group, name string, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	fmt.Printf("%s%s  (group)\n", indent, name)
+	if *verbose {
+		printAttrs(attrReader{g: g}, depth+1)
+	}
+	for _, child := range g.List() {
+		if sub, err := g.OpenGroup(nil, child); err == nil {
+			if err := listGroup(sub, child, depth+1); err != nil {
+				return err
+			}
+			continue
+		}
+		ds, err := g.OpenDataset(nil, child)
+		if err != nil {
+			return fmt.Errorf("opening %q: %w", child, err)
+		}
+		layout := "contiguous"
+		if ds.Chunked() {
+			layout = fmt.Sprintf("chunked (%d chunks)", ds.NumChunks())
+		}
+		fmt.Printf("%s  %s  dataset %v %v, %s, %d bytes\n",
+			indent, child, ds.Dims(), ds.Dtype(), layout, ds.NBytes())
+		if *verbose {
+			printAttrs(attrReader{d: ds}, depth+2)
+		}
+	}
+	return nil
+}
+
+// attrReader unifies group and dataset attribute access for printing.
+type attrReader struct {
+	g *hdf5.Group
+	d *hdf5.Dataset
+}
+
+func (ar attrReader) names() []string {
+	if ar.g != nil {
+		return ar.g.AttrNames()
+	}
+	return ar.d.AttrNames()
+}
+
+func (ar attrReader) attr(name string) (hdf5.Attribute, error) {
+	if ar.g != nil {
+		return ar.g.Attr(nil, name)
+	}
+	return ar.d.Attr(nil, name)
+}
+
+func printAttrs(ar attrReader, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, name := range ar.names() {
+		a, err := ar.attr(name)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("%s@%s: %v (%d bytes)\n", indent, name, a.Dtype, len(a.Data))
+	}
+}

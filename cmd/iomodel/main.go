@@ -1,0 +1,83 @@
+// Command iomodel fits the paper's I/O-rate models to a trace CSV (as
+// written by trace.WriteCSV) and reports the fitted coefficients, r²,
+// and per-epoch estimates — the offline counterpart of the runtime
+// feedback loop (Fig. 2 of the paper).
+//
+// Usage:
+//
+//	iomodel trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"asyncio/internal/model"
+	"asyncio/internal/trace"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: iomodel <trace.csv>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iomodel: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	records, err := trace.ReadCSV(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iomodel: %v\n", err)
+		os.Exit(1)
+	}
+	if len(records) == 0 {
+		fmt.Fprintln(os.Stderr, "iomodel: no records")
+		os.Exit(1)
+	}
+
+	est := model.NewEstimator()
+	var lastBytes int64
+	var lastRanks int
+	for _, r := range records {
+		est.ObserveComp(r.CompTime)
+		if r.Mode == trace.Sync {
+			est.ObserveSyncIO(r.Bytes, r.Ranks, r.IOTime)
+		} else {
+			est.ObserveOverhead(r.Bytes, r.Ranks, r.IOTime)
+		}
+		lastBytes, lastRanks = r.Bytes, r.Ranks
+	}
+
+	fmt.Printf("records: %d\n", len(records))
+	if m, ok := est.SyncModel(); ok {
+		fmt.Printf("sync model:  %v  beta=%v  r²=%.3f  (n=%d)\n", m.Kind, m.Fit.Beta, m.R2(), m.N)
+	} else {
+		fmt.Println("sync model:  insufficient synchronous observations")
+	}
+	if m, ok := est.AsyncModel(); ok {
+		fmt.Printf("async model: %v  beta=%v  r²=%.3f  (n=%d)\n", m.Kind, m.Fit.Beta, m.R2(), m.N)
+	} else {
+		fmt.Println("async model: insufficient asynchronous observations")
+	}
+	if comp, ok := est.CompEstimate(); ok {
+		fmt.Printf("compute estimate (EWMA): %v\n", comp.Round(time.Millisecond))
+	}
+	if ee, ok := est.EstimateEpoch(lastBytes, lastRanks); ok {
+		fmt.Printf("next epoch (bytes=%d ranks=%d):\n", lastBytes, lastRanks)
+		fmt.Printf("  sync  (Eq. 2a): %v\n", ee.Sync.Round(time.Millisecond))
+		fmt.Printf("  async (Eq. 2b): %v\n", ee.Async.Round(time.Millisecond))
+		fmt.Printf("  advisor: use %s I/O", ee.Better())
+		if ee.SlowdownRegion() {
+			fmt.Printf("  (slowdown region: overhead %v ≥ compute %v)",
+				ee.Overhead.Round(time.Millisecond), ee.Comp.Round(time.Millisecond))
+		}
+		fmt.Println()
+	} else {
+		fmt.Println("epoch estimate: needs observations from both I/O modes")
+	}
+}

@@ -1,0 +1,76 @@
+// Adaptive-mode example: the paper motivates a transparent runtime that
+// switches between synchronous and asynchronous I/O using the
+// performance model (Fig. 2's feedback loop). This example runs the
+// same workload twice on simulated Cori-Haswell:
+//
+//   - long compute phases → the model learns that async hides the I/O
+//     and settles on asynchronous mode;
+//
+//   - compute phases shorter than the transactional overhead (the
+//     Fig. 1c slowdown scenario) → the model settles on synchronous.
+//
+//     go run ./examples/adaptive_mode
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"asyncio"
+)
+
+const bytesPerRank = 64 << 20 // 64 MB per rank per epoch
+
+func main() {
+	run("long compute phases", 20*time.Second)
+	run("tiny compute phases (slowdown scenario)", 5*time.Millisecond)
+}
+
+func run(title string, compute time.Duration) {
+	fmt.Printf("== %s (compute %v) ==\n", title, compute)
+	clk := asyncio.NewClock()
+	sys := asyncio.CoriHaswell(clk, 2) // 64 ranks
+
+	// A minimal iterative app written directly against the system
+	// models: synchronous epochs write through the Lustre target,
+	// asynchronous epochs pay only the node-local staging copy.
+	hooks := asyncio.Hooks{
+		Compute: func(ctx *asyncio.RankCtx, iter int) error {
+			ctx.P.Sleep(compute)
+			return nil
+		},
+		IO: func(ctx *asyncio.RankCtx, iter int, mode asyncio.IOMode) (int64, error) {
+			if mode == asyncio.Sync {
+				ctx.Sys.PFS.WriteData(ctx.P, bytesPerRank)
+			} else {
+				ctx.Sys.MemcpyModel(ctx.Rank)(ctx.P, bytesPerRank)
+			}
+			return bytesPerRank, nil
+		},
+	}
+	rep, err := asyncio.RunApp(sys, asyncio.RunConfig{
+		Workload:   "adaptive-demo",
+		Iterations: 10,
+		Mode:       asyncio.Adaptive,
+	}, hooks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, ep := range rep.Epochs {
+		line := fmt.Sprintf("  epoch %d: mode=%-5s io=%-12v comp=%v",
+			ep.Epoch, ep.Mode, ep.IOTime, ep.CompTime)
+		if ep.EstOK {
+			line += fmt.Sprintf("  [model: sync=%v async=%v → %s]",
+				ep.Est.Sync.Round(time.Millisecond),
+				ep.Est.Async.Round(time.Millisecond),
+				ep.Est.Better())
+		} else {
+			line += "  [seeding model]"
+		}
+		fmt.Println(line)
+	}
+	last := rep.Epochs[len(rep.Epochs)-1]
+	fmt.Printf("settled on %s I/O; total app time %v\n\n", last.Mode, rep.Run.TotalTime())
+}

@@ -1,0 +1,45 @@
+// Prefetch reader example: the BD-CATS-IO pattern (§V-A2). The first
+// time step's read is blocking; once the async connector starts
+// prefetching the next step during the computation phase, later reads
+// cost only the staging copy — the paper reports "orders of magnitude"
+// higher aggregate read bandwidth.
+//
+//	go run ./examples/prefetch_reader
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asyncio"
+	"asyncio/internal/core"
+	"asyncio/internal/workloads/bdcats"
+)
+
+func main() {
+	const nodes = 8
+	fmt.Printf("BD-CATS-IO on simulated Summit, %d nodes (%d ranks), 5 time steps\n\n", nodes, nodes*6)
+
+	clk := asyncio.NewClock()
+	sys := asyncio.Summit(clk, nodes)
+	rep, err := bdcats.Run(sys, bdcats.Config{
+		Steps: 5,
+		Mode:  core.ForceAsync,
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rep.Run.Records {
+		kind := "prefetch hit (staging copy only)"
+		if r.Epoch == 0 {
+			kind = "cold read (blocking)"
+		}
+		fmt.Printf("step %d: read %5.1f GB in %-12v → %9.2f GB/s   %s\n",
+			r.Epoch, float64(r.Bytes)/1e9, r.IOTime, r.Rate()/1e9, kind)
+	}
+
+	first := rep.Run.Records[0]
+	last := rep.Run.Records[len(rep.Run.Records)-1]
+	fmt.Printf("\nspeedup after prefetch kicks in: %.0f×\n",
+		last.Rate()/first.Rate())
+}

@@ -1,0 +1,44 @@
+// VPIC checkpoint example: run the paper's VPIC-IO kernel on a
+// simulated Summit allocation in both I/O modes and compare the
+// observed aggregate bandwidth per checkpoint — the core comparison of
+// the paper's Fig. 3a.
+//
+//	go run ./examples/vpic_checkpoint
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asyncio"
+	"asyncio/internal/core"
+	"asyncio/internal/workloads/vpicio"
+)
+
+func main() {
+	const nodes = 16
+	fmt.Printf("VPIC-IO on simulated Summit, %d nodes (%d ranks), 3 checkpoints\n\n", nodes, nodes*6)
+
+	for _, mode := range []core.Mode{core.ForceSync, core.ForceAsync} {
+		clk := asyncio.NewClock()
+		sys := asyncio.Summit(clk, nodes)
+		rep, _, err := vpicio.Run(sys, vpicio.Config{
+			Steps: 3,
+			Mode:  mode,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("mode=%s\n", mode)
+		for _, r := range rep.Run.Records {
+			fmt.Printf("  checkpoint %d: %6.1f MB/rank, io %-12v rate %8.2f GB/s\n",
+				r.Epoch, float64(r.Bytes)/float64(r.Ranks)/1e6,
+				r.IOTime, r.Rate()/1e9)
+		}
+		fmt.Printf("  total app time: %v (init %v, term %v)\n\n",
+			rep.Run.TotalTime(), rep.Run.InitTime, rep.Run.TermTime)
+	}
+
+	fmt.Println("The asynchronous rate reflects the staging-copy cost only —")
+	fmt.Println("the file-system write overlaps the 30 s compute phase.")
+}

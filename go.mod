@@ -1,0 +1,3 @@
+module asyncio
+
+go 1.23

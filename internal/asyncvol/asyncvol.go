@@ -1,0 +1,537 @@
+// Package asyncvol implements the asynchronous VOL connector — the
+// system under evaluation in the paper (Tang et al.'s vol-async,
+// reproduced on the simulation substrate).
+//
+// One Connector is created per simulated MPI process and owns one
+// background execution stream (vol-async spawns one Argobots background
+// thread per process). Dataset writes stage the application buffer into
+// a private copy — the transactional overhead of the paper's Eq. 2b —
+// then enqueue the real write on the background stream and return.
+// Reads can be prefetched: a background task stages the selection, and a
+// later matching Read costs only the staging-buffer copy. Completion is
+// tracked with EventSets (the H5ES analog); File.Close drains the
+// stream's pending work first.
+package asyncvol
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"asyncio/internal/hdf5"
+	"asyncio/internal/taskengine"
+	"asyncio/internal/vclock"
+	"asyncio/internal/vol"
+)
+
+// CopyModel charges the transactional overhead: the time to copy nbytes
+// between two memory buffers on the acting process's node (DRAM-to-DRAM
+// for CPU applications, GPU↔CPU for GPU applications — §III-B1).
+type CopyModel interface {
+	Copy(p *vclock.Proc, nbytes int64)
+}
+
+// CopyFunc adapts a function to CopyModel.
+type CopyFunc func(p *vclock.Proc, nbytes int64)
+
+// Copy implements CopyModel.
+func (f CopyFunc) Copy(p *vclock.Proc, nbytes int64) { f(p, nbytes) }
+
+// Options configures a Connector.
+type Options struct {
+	// Copy charges the transactional overhead per staged operation. Nil
+	// disables the charge — the "zero-copy async" ablation, physically
+	// unrealizable but useful to isolate the overhead's contribution.
+	Copy CopyModel
+	// Materialize controls whether staging buffers are actually
+	// allocated and copied. Correctness tests set it; full-scale
+	// experiments disable it so 12k ranks don't allocate hundreds of
+	// gigabytes. When disabled the connector retains the caller's
+	// buffer, so callers must not mutate it before completion.
+	Materialize bool
+	// MaxPending bounds outstanding background operations: a submission
+	// beyond the bound blocks the caller until the queue drains below
+	// it. This is the backpressure that bounds staging-buffer memory on
+	// real systems (vol-async's task-queue limit). Zero means
+	// unbounded.
+	MaxPending int
+}
+
+// Connector is the asynchronous connector for one simulated process.
+type Connector struct {
+	name   string
+	eng    *taskengine.Engine
+	stream *taskengine.Stream
+	opts   Options
+
+	mu       sync.Mutex
+	last     *taskengine.Task
+	inflight []*taskengine.Task // submission order; pruned as tasks finish
+	cache    map[cacheKey]*cacheEntry
+}
+
+type cacheKey struct {
+	uid any // hdf5.Dataset.UID of the underlying object
+	sel string
+}
+
+type cacheEntry struct {
+	task *taskengine.Task
+	buf  []byte // nil when not materializing
+}
+
+// New creates a connector with its own background stream on eng.
+func New(eng *taskengine.Engine, name string, opts Options) *Connector {
+	c := &Connector{
+		name:  name,
+		eng:   eng,
+		opts:  opts,
+		cache: make(map[cacheKey]*cacheEntry),
+	}
+	c.stream = eng.NewStream("asyncvol:" + name)
+	return c
+}
+
+// Name implements vol.Connector.
+func (c *Connector) Name() string { return "async:" + c.name }
+
+// Shutdown stops the background stream after draining queued work. The
+// connector is unusable afterwards.
+func (c *Connector) Shutdown() { c.stream.Shutdown() }
+
+// Drain blocks p until every operation pushed so far has completed.
+func (c *Connector) Drain(p *vclock.Proc) error {
+	c.mu.Lock()
+	last := c.last
+	c.mu.Unlock()
+	if last == nil {
+		return nil
+	}
+	return last.Wait(p)
+}
+
+// push enqueues a background task and records it as the newest. When
+// MaxPending is set and p is non-nil, the caller blocks until the queue
+// has room (backpressure).
+func (c *Connector) push(p *vclock.Proc, name string, fn func(p *vclock.Proc) error, set vol.EventSet) *taskengine.Task {
+	if c.opts.MaxPending > 0 && p != nil {
+		c.waitForRoom(p)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.stream.Push(name, nil, fn)
+	c.last = t
+	// Only buffer-holding submissions (those with a caller to block)
+	// count toward the bound; deferred metadata tasks hold nothing.
+	if c.opts.MaxPending > 0 && p != nil {
+		c.inflight = append(c.inflight, t)
+	}
+	if set != nil {
+		es, ok := set.(*EventSet)
+		if !ok {
+			panic(fmt.Sprintf("asyncvol: event set %T is not *asyncvol.EventSet", set))
+		}
+		es.add(t)
+	}
+	return t
+}
+
+// waitForRoom blocks p until fewer than MaxPending tasks are
+// outstanding. The stream is FIFO, so waiting on the oldest unfinished
+// task suffices.
+func (c *Connector) waitForRoom(p *vclock.Proc) {
+	for {
+		c.mu.Lock()
+		// Prune finished tasks from the front.
+		for len(c.inflight) > 0 && c.inflight[0].Done() {
+			c.inflight = c.inflight[1:]
+		}
+		if len(c.inflight) < c.opts.MaxPending {
+			c.mu.Unlock()
+			return
+		}
+		oldest := c.inflight[0]
+		c.mu.Unlock()
+		// Errors are observed by the task's owner (EventSet/Drain), not
+		// the backpressure path.
+		_ = oldest.Wait(p)
+	}
+}
+
+// Pending returns the number of outstanding background operations
+// (only tracked when MaxPending is set).
+func (c *Connector) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range c.inflight {
+		if !t.Done() {
+			n++
+		}
+	}
+	return n
+}
+
+// Create implements vol.Connector.
+func (c *Connector) Create(pr vol.Props, store hdf5.Store, opts ...hdf5.FileOption) (vol.File, error) {
+	f, err := hdf5.Create(store, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &asyncFile{c: c, f: f, native: vol.Native{}.Wrap(f)}, nil
+}
+
+// Open implements vol.Connector.
+func (c *Connector) Open(pr vol.Props, store hdf5.Store, opts ...hdf5.FileOption) (vol.File, error) {
+	f, err := hdf5.Open(store, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &asyncFile{c: c, f: f, native: vol.Native{}.Wrap(f)}, nil
+}
+
+// Wrap implements vol.Connector.
+func (c *Connector) Wrap(f *hdf5.File) vol.File {
+	return &asyncFile{c: c, f: f, native: vol.Native{}.Wrap(f)}
+}
+
+type asyncFile struct {
+	c      *Connector
+	f      *hdf5.File
+	native vol.File
+}
+
+func (af *asyncFile) Root() vol.Group {
+	return &asyncGroup{c: af.c, raw: af.f, g: af.native.Root()}
+}
+
+// Flush drains pending asynchronous work, then flushes metadata.
+func (af *asyncFile) Flush(pr vol.Props) error {
+	if err := af.c.Drain(pr.Proc); err != nil {
+		return err
+	}
+	return af.native.Flush(pr)
+}
+
+// Close drains pending asynchronous work for this process, then closes
+// the underlying file (idempotent, so each sharing rank may call it).
+func (af *asyncFile) Close(pr vol.Props) error {
+	if err := af.c.Drain(pr.Proc); err != nil {
+		return err
+	}
+	return af.native.Close(pr)
+}
+
+func (af *asyncFile) Unwrap() *hdf5.File { return af.f }
+
+// asyncGroup executes metadata operations immediately (callers need the
+// resulting handles) but asynchronously with respect to their cost:
+// vol-async enqueues metadata on the background thread, so the calling
+// process does not block on metadata round trips. The structural change
+// happens uncharged on the caller; the latency is charged to the
+// background stream.
+type asyncGroup struct {
+	c   *Connector
+	raw *hdf5.File
+	g   vol.Group
+}
+
+// deferMeta performs the op's structural work uncharged and pushes its
+// n-round-trip cost onto the background stream.
+func (ag *asyncGroup) deferMeta(pr vol.Props, n int) {
+	raw := ag.raw
+	// Metadata tasks are tiny and exempt from backpressure (no staging
+	// buffer is held).
+	ag.c.push(nil, "H5meta:async", func(p *vclock.Proc) error {
+		raw.ChargeMetaOps(&hdf5.TransferProps{Proc: p}, n)
+		return nil
+	}, pr.Set)
+}
+
+// uncharged strips the acting process so the native call costs nothing.
+func uncharged() vol.Props { return vol.Props{} }
+
+// pathOps counts metadata round trips for a path walk.
+func pathOps(path string) int {
+	n := 0
+	for _, part := range strings.Split(path, "/") {
+		if part != "" {
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+func (ag *asyncGroup) CreateGroup(pr vol.Props, name string) (vol.Group, error) {
+	g, err := ag.g.CreateGroup(uncharged(), name)
+	if err != nil {
+		return nil, err
+	}
+	ag.deferMeta(pr, 1)
+	return &asyncGroup{c: ag.c, raw: ag.raw, g: g}, nil
+}
+
+func (ag *asyncGroup) OpenGroup(pr vol.Props, path string) (vol.Group, error) {
+	g, err := ag.g.OpenGroup(uncharged(), path)
+	if err != nil {
+		return nil, err
+	}
+	ag.deferMeta(pr, pathOps(path))
+	return &asyncGroup{c: ag.c, raw: ag.raw, g: g}, nil
+}
+
+func (ag *asyncGroup) CreateDataset(pr vol.Props, name string, dtype hdf5.Datatype, space *hdf5.Dataspace, props *hdf5.CreateProps) (vol.Dataset, error) {
+	d, err := ag.g.CreateDataset(uncharged(), name, dtype, space, props)
+	if err != nil {
+		return nil, err
+	}
+	ag.deferMeta(pr, 1)
+	return &asyncDataset{c: ag.c, d: d}, nil
+}
+
+func (ag *asyncGroup) OpenDataset(pr vol.Props, path string) (vol.Dataset, error) {
+	d, err := ag.g.OpenDataset(uncharged(), path)
+	if err != nil {
+		return nil, err
+	}
+	ag.deferMeta(pr, pathOps(path))
+	return &asyncDataset{c: ag.c, d: d}, nil
+}
+
+func (ag *asyncGroup) SetAttrInt64(pr vol.Props, name string, v int64) error {
+	if err := ag.g.SetAttrInt64(uncharged(), name, v); err != nil {
+		return err
+	}
+	ag.deferMeta(pr, 1)
+	return nil
+}
+
+func (ag *asyncGroup) AttrInt64(pr vol.Props, name string) (int64, error) {
+	// Attribute reads return data to the caller, so they stay charged
+	// (the caller genuinely waits for the value).
+	return ag.g.AttrInt64(pr, name)
+}
+
+func (ag *asyncGroup) SetAttrString(pr vol.Props, name, v string) error {
+	if err := ag.g.SetAttrString(uncharged(), name, v); err != nil {
+		return err
+	}
+	ag.deferMeta(pr, 1)
+	return nil
+}
+
+func (ag *asyncGroup) AttrString(pr vol.Props, name string) (string, error) {
+	return ag.g.AttrString(pr, name)
+}
+
+func (ag *asyncGroup) List() []string { return ag.g.List() }
+
+type asyncDataset struct {
+	c *Connector
+	d vol.Dataset
+}
+
+// Write stages the buffer (charging the transactional overhead on the
+// calling process), enqueues the real write on the background stream,
+// and returns. Completion is observable through pr.Set, Drain, Flush,
+// or Close.
+func (ad *asyncDataset) Write(pr vol.Props, fspace *hdf5.Dataspace, buf []byte) error {
+	c := ad.c
+	staged := buf
+	if c.opts.Materialize {
+		staged = append([]byte(nil), buf...)
+	}
+	if c.opts.Copy != nil {
+		c.opts.Copy.Copy(pr.Proc, int64(len(buf)))
+	}
+	var sel *hdf5.Dataspace
+	if fspace != nil {
+		sel = fspace.Copy()
+	}
+	c.push(pr.Proc, "H5Dwrite:async", func(p *vclock.Proc) error {
+		return ad.d.Write(vol.Props{Proc: p}, sel, staged)
+	}, pr.Set)
+	return nil
+}
+
+// WriteDiscard stages a write without byte movement: the caller pays
+// the transactional copy, the background stream pays the file-system
+// write. See vol.Dataset.
+func (ad *asyncDataset) WriteDiscard(pr vol.Props, fspace *hdf5.Dataspace) error {
+	c := ad.c
+	nbytes := ad.NBytes()
+	if fspace != nil {
+		nbytes = int64(fspace.SelectionCount()) * int64(ad.Dtype().Size)
+	}
+	if c.opts.Copy != nil {
+		c.opts.Copy.Copy(pr.Proc, nbytes)
+	}
+	var sel *hdf5.Dataspace
+	if fspace != nil {
+		sel = fspace.Copy()
+	}
+	c.push(pr.Proc, "H5Dwrite:async-discard", func(p *vclock.Proc) error {
+		return ad.d.WriteDiscard(vol.Props{Proc: p}, sel)
+	}, pr.Set)
+	return nil
+}
+
+// ReadDiscard serves a timing-only read: a matching prefetch costs only
+// the staging copy, otherwise a blocking charged read runs.
+func (ad *asyncDataset) ReadDiscard(pr vol.Props, fspace *hdf5.Dataspace) error {
+	c := ad.c
+	nbytes := ad.NBytes()
+	if fspace != nil {
+		nbytes = int64(fspace.SelectionCount()) * int64(ad.Dtype().Size)
+	}
+	key := ad.key(fspace)
+	c.mu.Lock()
+	entry, ok := c.cache[key]
+	if ok {
+		delete(c.cache, key)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return ad.d.ReadDiscard(pr, fspace)
+	}
+	if err := entry.task.Wait(pr.Proc); err != nil {
+		return err
+	}
+	if c.opts.Copy != nil {
+		c.opts.Copy.Copy(pr.Proc, nbytes)
+	}
+	return nil
+}
+
+// Read serves the selection from a matching prefetch staging buffer if
+// one exists (waiting for the background read if it is still in flight,
+// then charging only the staging copy); otherwise it falls back to a
+// blocking synchronous read, exactly like the first time step in the
+// paper's BD-CATS-IO runs.
+func (ad *asyncDataset) Read(pr vol.Props, fspace *hdf5.Dataspace, buf []byte) error {
+	c := ad.c
+	key := ad.key(fspace)
+	c.mu.Lock()
+	entry, ok := c.cache[key]
+	if ok {
+		delete(c.cache, key)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return ad.d.Read(pr, fspace, buf)
+	}
+	if err := entry.task.Wait(pr.Proc); err != nil {
+		return err
+	}
+	if c.opts.Copy != nil {
+		c.opts.Copy.Copy(pr.Proc, int64(len(buf)))
+	}
+	if entry.buf != nil {
+		if len(entry.buf) != len(buf) {
+			return fmt.Errorf("asyncvol: prefetch buffer %d bytes vs read buffer %d", len(entry.buf), len(buf))
+		}
+		copy(buf, entry.buf)
+	}
+	return nil
+}
+
+// Prefetch stages the selection in the background. A later Read with an
+// equal selection is served from the staging buffer.
+func (ad *asyncDataset) Prefetch(pr vol.Props, fspace *hdf5.Dataspace) error {
+	c := ad.c
+	key := ad.key(fspace)
+	var sel *hdf5.Dataspace
+	nbytes := ad.NBytes()
+	if fspace != nil {
+		sel = fspace.Copy()
+		nbytes = int64(fspace.SelectionCount()) * int64(ad.Dtype().Size)
+	}
+	var staging []byte
+	if c.opts.Materialize {
+		staging = make([]byte, nbytes)
+	}
+	c.mu.Lock()
+	if _, dup := c.cache[key]; dup {
+		c.mu.Unlock()
+		return nil // already staged or in flight
+	}
+	c.mu.Unlock()
+	task := c.push(pr.Proc, "H5Dread:prefetch", func(p *vclock.Proc) error {
+		if staging == nil {
+			// Timing-only mode: charge the read without materializing.
+			return ad.d.Unwrap().ReadNull(&hdf5.TransferProps{Proc: p}, sel)
+		}
+		return ad.d.Read(vol.Props{Proc: p}, sel, staging)
+	}, pr.Set)
+	c.mu.Lock()
+	c.cache[key] = &cacheEntry{task: task, buf: staging}
+	c.mu.Unlock()
+	return nil
+}
+
+func (ad *asyncDataset) key(fspace *hdf5.Dataspace) cacheKey {
+	sel := "all"
+	if fspace != nil {
+		sel = fspace.String()
+	}
+	return cacheKey{uid: ad.d.Unwrap().UID(), sel: sel}
+}
+
+func (ad *asyncDataset) Dims() []uint64        { return ad.d.Dims() }
+func (ad *asyncDataset) Dtype() hdf5.Datatype  { return ad.d.Dtype() }
+func (ad *asyncDataset) NBytes() int64         { return ad.d.NBytes() }
+func (ad *asyncDataset) Unwrap() *hdf5.Dataset { return ad.d.Unwrap() }
+
+// EventSet tracks asynchronous operations, like H5ES.
+type EventSet struct {
+	mu    sync.Mutex
+	tasks []*taskengine.Task
+}
+
+// NewEventSet returns an empty event set.
+func NewEventSet() *EventSet { return &EventSet{} }
+
+func (es *EventSet) add(t *taskengine.Task) {
+	es.mu.Lock()
+	es.tasks = append(es.tasks, t)
+	es.mu.Unlock()
+}
+
+// Wait blocks p until every tracked operation completes, returning the
+// first error. The set is emptied.
+func (es *EventSet) Wait(p *vclock.Proc) error {
+	es.mu.Lock()
+	tasks := es.tasks
+	es.tasks = nil
+	es.mu.Unlock()
+	var first error
+	for _, t := range tasks {
+		if err := t.Wait(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Pending returns the number of tracked incomplete operations.
+func (es *EventSet) Pending() int {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	n := 0
+	for _, t := range es.tasks {
+		if !t.Done() {
+			n++
+		}
+	}
+	return n
+}
+
+// Timing-only scratch reads in Prefetch allocate nbytes transiently;
+// interface conformance checks.
+var (
+	_ vol.Connector = (*Connector)(nil)
+	_ vol.EventSet  = (*EventSet)(nil)
+)

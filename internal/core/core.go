@@ -1,0 +1,314 @@
+// Package core is the library's primary contribution glue: an iterative
+// application driver that executes alternating computation and I/O
+// phases over simulated MPI, measures every phase, feeds the paper's
+// performance model (internal/model), and — in Adaptive mode — uses the
+// model's epoch estimates to pick synchronous or asynchronous I/O for
+// each upcoming epoch: the transparent, adaptive asynchronous I/O
+// interface the paper motivates (§II-B) and the feedback loop of its
+// Fig. 2.
+//
+// Workloads supply Hooks (connector setup, a compute phase, an I/O
+// phase, drain and teardown); the Loop owns phase timing, barriers,
+// mode decisions, and the per-epoch record stream.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"asyncio/internal/model"
+	"asyncio/internal/mpi"
+	"asyncio/internal/systems"
+	"asyncio/internal/trace"
+	"asyncio/internal/vclock"
+)
+
+// Mode selects the I/O strategy policy for a run.
+type Mode int
+
+// Run policies.
+const (
+	// ForceSync runs every epoch synchronously.
+	ForceSync Mode = iota
+	// ForceAsync runs every epoch asynchronously.
+	ForceAsync
+	// Adaptive seeds the model with a few epochs of each mode, then
+	// picks the mode with the smaller estimated epoch time (Fig. 2).
+	Adaptive
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ForceSync:
+		return "sync"
+	case ForceAsync:
+		return "async"
+	case Adaptive:
+		return "adaptive"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a run.
+type Config struct {
+	Workload   string
+	Iterations int
+	Mode       Mode
+	// Ranks defaults to the full allocation (system Size()).
+	Ranks int
+	// SeedEpochs is how many epochs of each mode Adaptive runs before
+	// trusting the model. Default 2.
+	SeedEpochs int
+	// Estimator, when non-nil, carries history across runs (the paper
+	// progressively adds measurements from previous runs). A fresh one
+	// is created otherwise.
+	Estimator *model.Estimator
+}
+
+// RankCtx is the per-rank execution context passed to every hook.
+type RankCtx struct {
+	Comm *mpi.Comm
+	P    *vclock.Proc
+	Sys  *systems.System
+	Rank int
+}
+
+// Hooks are the workload-specific callbacks. All hooks run on every
+// rank. IO returns the bytes this rank moved during the phase.
+type Hooks struct {
+	// Init performs per-rank setup (connectors, file create/open).
+	Init func(ctx *RankCtx) error
+	// Compute runs one computation phase (typically a virtual sleep).
+	Compute func(ctx *RankCtx, iter int) error
+	// IO runs one I/O phase in the given mode and returns this rank's
+	// bytes. For async mode it should return once staging completes.
+	IO func(ctx *RankCtx, iter int, mode trace.Mode) (int64, error)
+	// Drain waits for outstanding asynchronous work (nil to skip).
+	Drain func(ctx *RankCtx) error
+	// Term closes files and shuts connectors down (nil to skip).
+	Term func(ctx *RankCtx) error
+}
+
+// EpochReport pairs an epoch's measurements with the model's prediction
+// made before the epoch ran.
+type EpochReport struct {
+	trace.Record
+	Est   model.EpochEstimate
+	EstOK bool
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	Run       trace.RunResult
+	Epochs    []EpochReport
+	Estimator *model.Estimator
+}
+
+// Run executes the iterative application on sys. It spawns cfg.Ranks MPI
+// rank processes on the system's clock, drives Iterations epochs, and
+// returns after all ranks finish. It must be called from the host
+// goroutine (it waits on the clock).
+func Run(sys *systems.System, cfg Config, hooks Hooks) (*Report, error) {
+	if cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("core: Iterations %d must be positive", cfg.Iterations)
+	}
+	if hooks.IO == nil {
+		return nil, fmt.Errorf("core: Hooks.IO is required")
+	}
+	ranks := cfg.Ranks
+	if ranks == 0 {
+		ranks = sys.Size()
+	}
+	if ranks <= 0 || ranks > sys.Size() {
+		return nil, fmt.Errorf("core: Ranks %d outside 1..%d", ranks, sys.Size())
+	}
+	if cfg.SeedEpochs <= 0 {
+		cfg.SeedEpochs = 2
+	}
+	est := cfg.Estimator
+	if est == nil {
+		est = model.NewEstimator()
+	}
+	ctl := &controller{mode: cfg.Mode, seed: cfg.SeedEpochs, est: est}
+	rep := &Report{
+		Run: trace.RunResult{
+			System:   sys.Name,
+			Workload: cfg.Workload,
+			Mode:     runModeLabel(cfg.Mode),
+			Ranks:    ranks,
+			Nodes:    (ranks + sys.RanksPerNode - 1) / sys.RanksPerNode,
+		},
+		Estimator: est,
+	}
+	world := mpi.Run(sys.Clk, ranks, mpi.DefaultCosts(), func(c *mpi.Comm) {
+		runRank(c, sys, cfg, hooks, ctl, rep)
+	})
+	werr := sys.Clk.Wait()
+	// A hook error aborts the ranks mid-run, which can leave background
+	// streams idle and trip the clock's deadlock detector; the root
+	// cause is the workload error, so report it first.
+	if err := world.Err(); err != nil {
+		return nil, err
+	}
+	if werr != nil {
+		return nil, werr
+	}
+	return rep, nil
+}
+
+func runModeLabel(m Mode) trace.Mode {
+	if m == ForceAsync {
+		return trace.Async
+	}
+	return trace.Sync
+}
+
+// controller makes per-epoch mode decisions on rank 0.
+type controller struct {
+	mode Mode
+	seed int
+	est  *model.Estimator
+}
+
+// choose returns the mode for the given epoch plus the estimate used.
+func (ctl *controller) choose(epoch int, bytes int64, ranks int) (trace.Mode, model.EpochEstimate, bool) {
+	switch ctl.mode {
+	case ForceSync, ForceAsync:
+		// Forced runs still compute estimates (when possible) so
+		// reports can compare prediction against measurement.
+		est, ok := ctl.est.EstimateEpoch(bytes, ranks)
+		if ctl.mode == ForceAsync {
+			return trace.Async, est, ok
+		}
+		return trace.Sync, est, ok
+	}
+	// Adaptive: alternate sync/async for the seed epochs, and keep
+	// alternating while the model still lacks data for either mode.
+	alternate := func() (trace.Mode, model.EpochEstimate, bool) {
+		if epoch%2 == 0 {
+			return trace.Sync, model.EpochEstimate{}, false
+		}
+		return trace.Async, model.EpochEstimate{}, false
+	}
+	if epoch < 2*ctl.seed {
+		return alternate()
+	}
+	est, ok := ctl.est.EstimateEpoch(bytes, ranks)
+	if !ok {
+		return alternate()
+	}
+	return est.Better(), est, true
+}
+
+func runRank(c *mpi.Comm, sys *systems.System, cfg Config, hooks Hooks, ctl *controller, rep *Report) {
+	p := c.Proc()
+	ctx := &RankCtx{Comm: c, P: p, Sys: sys, Rank: c.Rank()}
+	fail := func(err error) { c.Abort(err) }
+
+	initStart := p.Now()
+	if hooks.Init != nil {
+		if err := hooks.Init(ctx); err != nil {
+			fail(fmt.Errorf("init: %w", err))
+			return
+		}
+	}
+	c.Barrier()
+	initTime := p.Now() - initStart
+
+	var lastBytes int64 = -1
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		// Rank 0 decides the epoch's mode from the model; everyone else
+		// follows. The expected I/O size of the next epoch is the
+		// previous epoch's — iterative applications write the same
+		// shape every checkpoint.
+		var mode trace.Mode
+		var est model.EpochEstimate
+		var estOK bool
+		if c.Rank() == 0 {
+			mode, est, estOK = ctl.choose(iter, lastBytes, c.Size())
+		}
+		mode = mpi.Bcast(c, mode, 0)
+
+		// Computation phase.
+		compStart := p.Now()
+		if hooks.Compute != nil {
+			if err := hooks.Compute(ctx, iter); err != nil {
+				fail(fmt.Errorf("compute iter %d: %w", iter, err))
+				return
+			}
+		}
+		compTime := p.Now() - compStart
+
+		// I/O phase, bracketed by barriers so rank 0's elapsed time is
+		// the max across ranks — parallel I/O finishes when the slowest
+		// rank finishes (§III-B2).
+		c.Barrier()
+		ioStart := p.Now()
+		myBytes, err := hooks.IO(ctx, iter, mode)
+		if err != nil {
+			fail(fmt.Errorf("io iter %d: %w", iter, err))
+			return
+		}
+		c.Barrier()
+		ioTime := p.Now() - ioStart
+		totalBytes := mpi.Allreduce(c, myBytes, func(a, b int64) int64 { return a + b })
+		maxComp := mpi.Allreduce(c, compTime, func(a, b time.Duration) time.Duration {
+			if a > b {
+				return a
+			}
+			return b
+		})
+		lastBytes = totalBytes
+
+		if c.Rank() == 0 {
+			recordEpoch(ctl, rep, iter, mode, c.Size(), totalBytes, ioTime, maxComp, est, estOK)
+		}
+	}
+
+	// Termination: drain background I/O, tear down.
+	termStart := p.Now()
+	if hooks.Drain != nil {
+		if err := hooks.Drain(ctx); err != nil {
+			fail(fmt.Errorf("drain: %w", err))
+			return
+		}
+	}
+	c.Barrier()
+	if hooks.Term != nil {
+		if err := hooks.Term(ctx); err != nil {
+			fail(fmt.Errorf("term: %w", err))
+			return
+		}
+	}
+	c.Barrier()
+	termTime := p.Now() - termStart
+	if c.Rank() == 0 {
+		rep.Run.InitTime = initTime
+		rep.Run.TermTime = termTime
+	}
+}
+
+// recordEpoch runs on rank 0 only.
+func recordEpoch(ctl *controller, rep *Report, iter int, mode trace.Mode, ranks int,
+	bytes int64, ioTime, compTime time.Duration, est model.EpochEstimate, estOK bool) {
+	rec := trace.Record{
+		Epoch:    iter,
+		Mode:     mode,
+		Ranks:    ranks,
+		Bytes:    bytes,
+		IOTime:   ioTime,
+		CompTime: compTime,
+	}
+	// Feed the feedback loop (Fig. 2): measurements from this epoch
+	// improve estimates for the next.
+	ctl.est.ObserveComp(compTime)
+	if mode == trace.Sync {
+		ctl.est.ObserveSyncIO(bytes, ranks, ioTime)
+	} else {
+		ctl.est.ObserveOverhead(bytes, ranks, ioTime)
+	}
+	rep.Run.Records = append(rep.Run.Records, rec)
+	rep.Epochs = append(rep.Epochs, EpochReport{Record: rec, Est: est, EstOK: estOK})
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"asyncio/internal/systems"
+	"asyncio/internal/trace"
+	"asyncio/internal/vclock"
+)
+
+// fakeIO builds hooks where compute sleeps comp and the I/O phase sleeps
+// syncT or asyncT depending on mode, reporting bytesPerRank.
+func fakeIO(comp, syncT, asyncT time.Duration, bytesPerRank int64) Hooks {
+	return Hooks{
+		Compute: func(ctx *RankCtx, iter int) error {
+			ctx.P.Sleep(comp)
+			return nil
+		},
+		IO: func(ctx *RankCtx, iter int, mode trace.Mode) (int64, error) {
+			if mode == trace.Sync {
+				ctx.P.Sleep(syncT)
+			} else {
+				ctx.P.Sleep(asyncT)
+			}
+			return bytesPerRank, nil
+		},
+	}
+}
+
+func TestForceSyncRunShape(t *testing.T) {
+	clk := vclock.New()
+	sys := systems.Summit(clk, 2) // 12 ranks
+	rep, err := Run(sys, Config{
+		Workload:   "fake",
+		Iterations: 3,
+		Mode:       ForceSync,
+	}, fakeIO(5*time.Second, 2*time.Second, 100*time.Millisecond, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Run.Ranks != 12 || rep.Run.Nodes != 2 {
+		t.Fatalf("ranks/nodes = %d/%d", rep.Run.Ranks, rep.Run.Nodes)
+	}
+	if len(rep.Run.Records) != 3 {
+		t.Fatalf("records = %d", len(rep.Run.Records))
+	}
+	for i, r := range rep.Run.Records {
+		if r.Mode != trace.Sync {
+			t.Errorf("epoch %d mode = %v", i, r.Mode)
+		}
+		if r.Bytes != 12<<20 {
+			t.Errorf("epoch %d bytes = %d, want %d", i, r.Bytes, 12<<20)
+		}
+		if r.CompTime != 5*time.Second {
+			t.Errorf("epoch %d comp = %v", i, r.CompTime)
+		}
+		// IOTime includes the closing barrier's latency; allow slack.
+		if r.IOTime < 2*time.Second || r.IOTime > 2*time.Second+time.Millisecond {
+			t.Errorf("epoch %d io = %v, want ~2s", i, r.IOTime)
+		}
+	}
+	if rep.Run.TotalTime() < 21*time.Second {
+		t.Errorf("TotalTime = %v, want >= 21s", rep.Run.TotalTime())
+	}
+}
+
+func TestForceAsyncUsesAsyncPath(t *testing.T) {
+	clk := vclock.New()
+	sys := systems.CoriHaswell(clk, 1) // 32 ranks
+	rep, err := Run(sys, Config{
+		Workload:   "fake",
+		Iterations: 2,
+		Mode:       ForceAsync,
+	}, fakeIO(time.Second, 10*time.Second, 50*time.Millisecond, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Run.Records {
+		if r.Mode != trace.Async {
+			t.Fatalf("mode = %v", r.Mode)
+		}
+		if r.IOTime > 100*time.Millisecond {
+			t.Fatalf("async io = %v, looks like the sync path ran", r.IOTime)
+		}
+	}
+}
+
+func TestAdaptiveSeedsThenPicksAsync(t *testing.T) {
+	clk := vclock.New()
+	sys := systems.Summit(clk, 1)
+	// Async clearly better: sync 10s vs async 0.1s with 5s compute.
+	rep, err := Run(sys, Config{
+		Workload:   "fake",
+		Iterations: 10,
+		Mode:       Adaptive,
+		SeedEpochs: 2,
+	}, fakeIO(5*time.Second, 10*time.Second, 100*time.Millisecond, 32<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := rep.Run.Records
+	// Seed phase alternates sync/async.
+	wantSeed := []trace.Mode{trace.Sync, trace.Async, trace.Sync, trace.Async}
+	for i, want := range wantSeed {
+		if recs[i].Mode != want {
+			t.Fatalf("seed epoch %d mode = %v, want %v", i, recs[i].Mode, want)
+		}
+	}
+	for i := 4; i < len(recs); i++ {
+		if recs[i].Mode != trace.Async {
+			t.Fatalf("post-seed epoch %d chose %v, want async", i, recs[i].Mode)
+		}
+		if !rep.Epochs[i].EstOK {
+			t.Fatalf("post-seed epoch %d has no estimate", i)
+		}
+	}
+}
+
+func TestAdaptivePicksSyncWhenOverheadDominates(t *testing.T) {
+	clk := vclock.New()
+	sys := systems.Summit(clk, 1)
+	// Slowdown scenario (Fig. 1c): compute 10ms, async staging 500ms,
+	// sync I/O 400ms. Sync epoch 410ms beats async 510ms.
+	rep, err := Run(sys, Config{
+		Workload:   "fake",
+		Iterations: 12,
+		Mode:       Adaptive,
+		SeedEpochs: 2,
+	}, fakeIO(10*time.Millisecond, 400*time.Millisecond, 500*time.Millisecond, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < len(rep.Run.Records); i++ {
+		if rep.Run.Records[i].Mode != trace.Sync {
+			t.Fatalf("epoch %d chose %v, want sync (overhead-dominated)", i, rep.Run.Records[i].Mode)
+		}
+	}
+	// The estimate itself must flag the slowdown region.
+	last := rep.Epochs[len(rep.Epochs)-1]
+	if !last.EstOK || !last.Est.SlowdownRegion() {
+		t.Fatalf("slowdown region not detected: %+v", last.Est)
+	}
+}
+
+func TestHookErrorsPropagate(t *testing.T) {
+	sentinel := errors.New("disk on fire")
+	cases := map[string]Hooks{
+		"init": {
+			Init: func(*RankCtx) error { return sentinel },
+			IO:   func(*RankCtx, int, trace.Mode) (int64, error) { return 0, nil },
+		},
+		"compute": {
+			Compute: func(*RankCtx, int) error { return sentinel },
+			IO:      func(*RankCtx, int, trace.Mode) (int64, error) { return 0, nil },
+		},
+	}
+	for name, hooks := range cases {
+		clk := vclock.New()
+		sys := systems.Summit(clk, 1)
+		_, err := Run(sys, Config{Workload: "fake", Iterations: 1, Mode: ForceSync}, hooks)
+		if !errors.Is(err, sentinel) {
+			t.Errorf("%s: err = %v, want sentinel", name, err)
+		}
+	}
+}
+
+func TestIOErrorAbortsAllRanks(t *testing.T) {
+	sentinel := errors.New("write failed")
+	clk := vclock.New()
+	sys := systems.Summit(clk, 1)
+	hooks := Hooks{
+		IO: func(ctx *RankCtx, iter int, mode trace.Mode) (int64, error) {
+			if ctx.Rank == 3 {
+				return 0, sentinel
+			}
+			return 1, nil
+		},
+	}
+	_, err := Run(sys, Config{Workload: "fake", Iterations: 1, Mode: ForceSync}, hooks)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	clk := vclock.New()
+	sys := systems.Summit(clk, 1)
+	if _, err := Run(sys, Config{Iterations: 0}, Hooks{IO: func(*RankCtx, int, trace.Mode) (int64, error) { return 0, nil }}); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if _, err := Run(sys, Config{Iterations: 1}, Hooks{}); err == nil {
+		t.Error("missing IO hook accepted")
+	}
+	if _, err := Run(sys, Config{Iterations: 1, Ranks: 7}, Hooks{IO: func(*RankCtx, int, trace.Mode) (int64, error) { return 0, nil }}); err == nil {
+		t.Error("ranks beyond allocation accepted")
+	}
+}
+
+func TestEstimatorCarriesAcrossRuns(t *testing.T) {
+	clk := vclock.New()
+	sys := systems.Summit(clk, 1)
+	rep1, err := Run(sys, Config{
+		Workload: "fake", Iterations: 4, Mode: ForceSync,
+	}, fakeIO(time.Second, time.Second, time.Millisecond, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second run reuses the estimator and the clock.
+	rep2, err := Run(sys, Config{
+		Workload: "fake", Iterations: 4, Mode: ForceAsync, Estimator: rep1.Estimator,
+	}, fakeIO(time.Second, time.Second, time.Millisecond, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Estimator != rep1.Estimator {
+		t.Fatal("estimator not carried")
+	}
+	// After sync + async runs, the estimator has both models.
+	if _, ok := rep2.Estimator.EstimateEpoch(12<<20, 6); !ok {
+		t.Fatal("combined history cannot estimate")
+	}
+}
+
+func TestDrainAndTermHooksRun(t *testing.T) {
+	clk := vclock.New()
+	sys := systems.Summit(clk, 1)
+	var drained, termed atomic.Int64
+	hooks := fakeIO(time.Second, time.Second, time.Second, 1)
+	hooks.Drain = func(ctx *RankCtx) error {
+		ctx.P.Sleep(2 * time.Second)
+		drained.Add(1)
+		return nil
+	}
+	hooks.Term = func(*RankCtx) error { termed.Add(1); return nil }
+	rep, err := Run(sys, Config{Workload: "fake", Iterations: 1, Mode: ForceSync}, hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drained.Load() != 6 || termed.Load() != 6 {
+		t.Fatalf("drain/term ran %d/%d times, want 6/6", drained.Load(), termed.Load())
+	}
+	if rep.Run.TermTime < 2*time.Second {
+		t.Fatalf("TermTime = %v, want >= 2s (drain)", rep.Run.TermTime)
+	}
+}

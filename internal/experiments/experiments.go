@@ -1,0 +1,143 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V). Each FigXX function runs the relevant workload across
+// a scaling sweep on the simulated Summit or Cori-Haswell system, in
+// synchronous and asynchronous modes, fits the paper's regression models
+// to the collected observations, and returns a Table with the same
+// series the paper plots (measured sync, measured async, and the model's
+// dotted estimate lines).
+//
+// Scales: ReducedScale keeps unit-test and benchmark runtime small;
+// FullScale reproduces the paper's node counts (up to 2,048 Summit
+// nodes / 12,288 ranks) and is what cmd/asyncio-bench runs.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Series is one plotted line: Y versus X with a name.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Table is the regenerated form of one paper figure.
+type Table struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Scale bounds an experiment sweep.
+type Scale struct {
+	// SummitNodes / CoriNodes are the node counts swept on each system.
+	SummitNodes []int
+	CoriNodes   []int
+	// Steps is the number of epochs per run.
+	Steps int
+	// Days is the number of repeated runs for the variability study.
+	Days int
+}
+
+// ReducedScale completes in seconds; used by tests and testing.B benches.
+func ReducedScale() Scale {
+	return Scale{
+		SummitNodes: []int{2, 8, 32, 128},
+		CoriNodes:   []int{1, 4, 16, 48},
+		Steps:       3,
+		Days:        5,
+	}
+}
+
+// FullScale reproduces the paper's sweeps: Summit up to 2,048 nodes
+// (12,288 ranks), Cori to 128 nodes (4,096 ranks).
+func FullScale() Scale {
+	return Scale{
+		SummitNodes: []int{2, 8, 32, 128, 512, 2048},
+		CoriNodes:   []int{1, 4, 16, 32, 64, 128},
+		Steps:       5,
+		Days:        10,
+	}
+}
+
+// Render writes the table as aligned text: one row per X value, one
+// column per series.
+func (t *Table) Render(w io.Writer) error {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	cols := []string{t.XLabel}
+	for _, s := range t.Series {
+		cols = append(cols, s.Name+" ("+t.YLabel+")")
+	}
+	fmt.Fprintln(tw, strings.Join(cols, "\t"))
+
+	// Collect the union of X values across series.
+	xset := map[float64]bool{}
+	for _, s := range t.Series {
+		for _, x := range s.X {
+			xset[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		row := []string{formatX(x)}
+		for _, s := range t.Series {
+			row = append(row, lookup(s, x))
+		}
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func formatX(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%.3g", x)
+}
+
+func lookup(s Series, x float64) string {
+	for i, sx := range s.X {
+		if sx == x {
+			return fmt.Sprintf("%.4g", s.Y[i])
+		}
+	}
+	return "-"
+}
+
+// SeriesByName returns the named series.
+func (t *Table) SeriesByName(name string) (Series, bool) {
+	for _, s := range t.Series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// note appends a formatted note to the table.
+func (t *Table) note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// gb converts bytes/s to GB/s for plotting.
+func gb(bytesPerSec float64) float64 { return bytesPerSec / 1e9 }

@@ -1,0 +1,241 @@
+package hdf5
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeflateRoundtripFullWrite(t *testing.T) {
+	f, _ := Create(NewMemStore())
+	ds, err := f.Root().CreateDataset(nil, "z", I32, MustSimple(10, 10),
+		&CreateProps{ChunkDims: []uint64{4, 4}, Deflate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Deflated() || !ds.Chunked() {
+		t.Fatal("filter flags wrong")
+	}
+	in := make([]int32, 100)
+	for i := range in {
+		in[i] = int32(i)
+	}
+	if err := ds.Write(nil, nil, Int32sToBytes(in)); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 400)
+	if err := ds.Read(nil, nil, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, Int32sToBytes(in)) {
+		t.Fatal("deflate roundtrip mismatch")
+	}
+}
+
+func TestDeflateCompressesRepetitiveData(t *testing.T) {
+	f, _ := Create(NewMemStore())
+	ds, err := f.Root().CreateDataset(nil, "z", U8, MustSimple(1<<16),
+		&CreateProps{ChunkDims: []uint64{1 << 12}, Deflate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Write(nil, nil, bytes.Repeat([]byte{7}, 1<<16)); err != nil {
+		t.Fatal(err)
+	}
+	if stored := ds.StoredBytes(); stored > (1<<16)/10 {
+		t.Fatalf("stored %d bytes for 64 KiB of constant data; filter not compressing", stored)
+	}
+}
+
+func TestDeflatePartialWriteRMW(t *testing.T) {
+	f, _ := Create(NewMemStore())
+	ds, err := f.Root().CreateDataset(nil, "z", U8, MustSimple(8, 8),
+		&CreateProps{ChunkDims: []uint64{4, 4}, Deflate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := make([]byte, 64)
+	for i := range base {
+		base[i] = byte(i)
+	}
+	if err := ds.Write(nil, nil, base); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite a 2x2 tile crossing nothing, then a 4x4 tile crossing all
+	// four chunks.
+	sel := MustSimple(8, 8)
+	if err := sel.SelectHyperslab([]uint64{2, 2}, nil, []uint64{1, 1}, []uint64{4, 4}); err != nil {
+		t.Fatal(err)
+	}
+	patch := bytes.Repeat([]byte{0xAA}, 16)
+	if err := ds.Write(nil, sel, patch); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 64)
+	if err := ds.Read(nil, nil, out); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			want := byte(r*8 + c)
+			if r >= 2 && r < 6 && c >= 2 && c < 6 {
+				want = 0xAA
+			}
+			if out[r*8+c] != want {
+				t.Fatalf("(%d,%d) = %#x, want %#x", r, c, out[r*8+c], want)
+			}
+		}
+	}
+}
+
+func TestDeflateSparseReadsZeros(t *testing.T) {
+	f, _ := Create(NewMemStore())
+	ds, err := f.Root().CreateDataset(nil, "z", U8, MustSimple(64),
+		&CreateProps{ChunkDims: []uint64{16}, Deflate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := MustSimple(64)
+	if err := sel.SelectHyperslab([]uint64{16}, nil, []uint64{1}, []uint64{16}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Write(nil, sel, bytes.Repeat([]byte{1}, 16)); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 64)
+	if err := ds.Read(nil, nil, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		want := byte(0)
+		if i >= 16 && i < 32 {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("elem %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestDeflatePersistsAcrossReopen(t *testing.T) {
+	store := NewMemStore()
+	f, _ := Create(store)
+	ds, err := f.Root().CreateDataset(nil, "z", I64, MustSimple(32),
+		&CreateProps{ChunkDims: []uint64{8}, Deflate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]int64, 32)
+	for i := range in {
+		in[i] = int64(i * i)
+	}
+	if err := ds.Write(nil, nil, Int64sToBytes(in)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := f2.Root().OpenDataset(nil, "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds2.Deflated() {
+		t.Fatal("deflate flag lost across reopen")
+	}
+	out := make([]byte, 32*8)
+	if err := ds2.Read(nil, nil, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, Int64sToBytes(in)) {
+		t.Fatal("deflate persistence mismatch")
+	}
+}
+
+func TestDeflateRequiresChunking(t *testing.T) {
+	f, _ := Create(NewMemStore())
+	if _, err := f.Root().CreateDataset(nil, "z", U8, MustSimple(8),
+		&CreateProps{Deflate: true}); err == nil {
+		t.Fatal("contiguous deflate accepted")
+	}
+}
+
+func TestDeflateExtendAndAppend(t *testing.T) {
+	f, _ := Create(NewMemStore())
+	ds, err := f.Root().CreateDataset(nil, "z", U8, MustSimple(8),
+		&CreateProps{ChunkDims: []uint64{4}, Deflate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Write(nil, nil, []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Extend(nil, []uint64{12}); err != nil {
+		t.Fatal(err)
+	}
+	sel := MustSimple(12)
+	if err := sel.SelectHyperslab([]uint64{8}, nil, []uint64{1}, []uint64{4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Write(nil, sel, []byte{9, 10, 11, 12}); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 12)
+	if err := ds.Read(nil, nil, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != byte(i+1) {
+			t.Fatalf("elem %d = %d", i, v)
+		}
+	}
+}
+
+// TestDeflateMatchesUncompressedProperty: random tile writes against a
+// deflate dataset and a plain chunked dataset must read back
+// identically.
+func TestDeflateMatchesUncompressedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const H, W = 12, 12
+		file, _ := Create(NewMemStore())
+		plain, err := file.Root().CreateDataset(nil, "p", U8, MustSimple(H, W),
+			&CreateProps{ChunkDims: []uint64{5, 3}})
+		if err != nil {
+			return false
+		}
+		zipped, err := file.Root().CreateDataset(nil, "zp", U8, MustSimple(H, W),
+			&CreateProps{ChunkDims: []uint64{5, 3}, Deflate: true})
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 8; k++ {
+			r0, c0 := rng.Intn(H), rng.Intn(W)
+			h, w := rng.Intn(H-r0)+1, rng.Intn(W-c0)+1
+			sel := MustSimple(H, W)
+			if err := sel.SelectHyperslab(
+				[]uint64{uint64(r0), uint64(c0)}, nil,
+				[]uint64{1, 1}, []uint64{uint64(h), uint64(w)}); err != nil {
+				return false
+			}
+			tile := make([]byte, h*w)
+			rng.Read(tile)
+			if plain.Write(nil, sel, tile) != nil || zipped.Write(nil, sel, append([]byte(nil), tile...)) != nil {
+				return false
+			}
+		}
+		a := make([]byte, H*W)
+		b := make([]byte, H*W)
+		if plain.Read(nil, nil, a) != nil || zipped.Read(nil, nil, b) != nil {
+			return false
+		}
+		return bytes.Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package hdf5
+
+import "asyncio/internal/vclock"
+
+// Driver charges virtual time for the I/O a File performs. The library
+// separates byte movement (always real, through the Store) from time
+// (charged here), so the same code runs as a plain storage library with
+// NopDriver or inside the discrete-event simulation with a file-system
+// model driver (see internal/pfs).
+//
+// Calls receive the acting process from the operation's TransferProps;
+// a nil process means "untimed" and implementations must treat it as a
+// no-op.
+type Driver interface {
+	// WriteData charges the time to move nbytes from memory to storage.
+	WriteData(p *vclock.Proc, nbytes int64)
+	// ReadData charges the time to move nbytes from storage to memory.
+	ReadData(p *vclock.Proc, nbytes int64)
+	// MetaOp charges one metadata round trip (create/open/attribute).
+	MetaOp(p *vclock.Proc)
+}
+
+// NopDriver charges nothing; it is the default for plain library use.
+type NopDriver struct{}
+
+// WriteData implements Driver.
+func (NopDriver) WriteData(*vclock.Proc, int64) {}
+
+// ReadData implements Driver.
+func (NopDriver) ReadData(*vclock.Proc, int64) {}
+
+// MetaOp implements Driver.
+func (NopDriver) MetaOp(*vclock.Proc) {}
+
+// TransferProps parameterizes one data-transfer call, mirroring HDF5's
+// dataset-transfer property list (DXPL). Proc identifies the acting
+// virtual-clock process; nil performs the operation untimed.
+type TransferProps struct {
+	Proc *vclock.Proc
+}
+
+// proc returns the acting process of tp, tolerating a nil receiver.
+func (tp *TransferProps) proc() *vclock.Proc {
+	if tp == nil {
+		return nil
+	}
+	return tp.Proc
+}

@@ -1,0 +1,223 @@
+package hdf5
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Group is a directory of named objects, like an HDF5 group.
+type Group struct {
+	o *object
+}
+
+// CreateProps configures dataset creation (the HDF5 DCPL analog).
+type CreateProps struct {
+	// ChunkDims switches the dataset to chunked layout with the given
+	// chunk shape (same rank as the dataspace). Nil means contiguous.
+	ChunkDims []uint64
+	// Deflate enables per-chunk DEFLATE compression (the H5Pset_deflate
+	// filter). Requires chunked layout.
+	Deflate bool
+}
+
+// validateName rejects empty names and path separators; creation is one
+// component at a time, as in H5Gcreate/H5Dcreate with relative names.
+func validateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("hdf5: empty object name")
+	}
+	if strings.Contains(name, "/") {
+		return fmt.Errorf("hdf5: name %q must be a single path component", name)
+	}
+	return nil
+}
+
+// CreateGroup creates a child group.
+func (g *Group) CreateGroup(tp *TransferProps, name string) (*Group, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	f := g.o.f
+	f.mu.Lock()
+	if err := f.checkOpen(); err != nil {
+		f.mu.Unlock()
+		return nil, err
+	}
+	if _, exists := g.o.links.Get(name); exists {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	child := &object{f: f, kind: kindGroup, links: newLinkTable()}
+	g.o.links.Put(name, &link{name: name, kind: kindGroup, obj: child})
+	f.mu.Unlock()
+	// Time charges never run under f.mu: a virtual-time sleep while
+	// holding a real mutex would wedge the whole simulation.
+	f.driver.MetaOp(tp.proc())
+	return &Group{o: child}, nil
+}
+
+// resolveLocked walks one path component, loading it from disk if needed.
+func (g *Group) resolveLocked(name string) (*object, error) {
+	l, ok := g.o.links.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if l.obj == nil {
+		o, err := g.o.f.loadObject(l.addr)
+		if err != nil {
+			return nil, fmt.Errorf("loading %q: %w", name, err)
+		}
+		l.obj = o
+	}
+	return l.obj, nil
+}
+
+// walk resolves a possibly multi-component path relative to g. Leading
+// and repeated slashes are tolerated.
+func (g *Group) walk(tp *TransferProps, path string) (*object, error) {
+	f := g.o.f
+	f.mu.Lock()
+	if err := f.checkOpen(); err != nil {
+		f.mu.Unlock()
+		return nil, err
+	}
+	cur := g.o
+	hops := 0
+	var walkErr error
+	for _, part := range strings.Split(path, "/") {
+		if part == "" {
+			continue
+		}
+		if cur.kind != kindGroup {
+			walkErr = fmt.Errorf("hdf5: %q is not a group", part)
+			break
+		}
+		o, err := (&Group{o: cur}).resolveLocked(part)
+		if err != nil {
+			walkErr = err
+			break
+		}
+		hops++
+		cur = o
+	}
+	f.mu.Unlock()
+	for i := 0; i < hops; i++ {
+		f.driver.MetaOp(tp.proc())
+	}
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	return cur, nil
+}
+
+// OpenGroup opens a group by path relative to g (absolute-style paths
+// are treated as relative to g too; use File.Root for "/").
+func (g *Group) OpenGroup(tp *TransferProps, path string) (*Group, error) {
+	o, err := g.walk(tp, path)
+	if err != nil {
+		return nil, err
+	}
+	if o.kind != kindGroup {
+		return nil, fmt.Errorf("hdf5: %q is not a group", path)
+	}
+	return &Group{o: o}, nil
+}
+
+// OpenDataset opens a dataset by path relative to g.
+func (g *Group) OpenDataset(tp *TransferProps, path string) (*Dataset, error) {
+	o, err := g.walk(tp, path)
+	if err != nil {
+		return nil, err
+	}
+	if o.kind != kindDataset {
+		return nil, fmt.Errorf("hdf5: %q is not a dataset", path)
+	}
+	return &Dataset{o: o}, nil
+}
+
+// Exists reports whether a direct child with the given name exists.
+func (g *Group) Exists(name string) bool {
+	f := g.o.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := g.o.links.Get(name)
+	return ok
+}
+
+// List returns the names of direct children in lexicographic order.
+func (g *Group) List() []string {
+	f := g.o.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, g.o.links.Len())
+	g.o.links.Ascend(func(name string, _ *link) bool {
+		out = append(out, name)
+		return true
+	})
+	return out
+}
+
+// CreateDataset creates a child dataset with the given element type and
+// shape. props may be nil for contiguous layout; contiguous storage is
+// allocated eagerly, chunked storage on first touch per chunk.
+func (g *Group) CreateDataset(tp *TransferProps, name string, dtype Datatype, space *Dataspace, props *CreateProps) (*Dataset, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	if !dtype.Valid() {
+		return nil, fmt.Errorf("hdf5: invalid datatype %v", dtype)
+	}
+	if space == nil {
+		return nil, fmt.Errorf("hdf5: nil dataspace")
+	}
+	f := g.o.f
+	f.mu.Lock()
+	if err := f.checkOpen(); err != nil {
+		f.mu.Unlock()
+		return nil, err
+	}
+	if _, exists := g.o.links.Get(name); exists {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	ds := &object{
+		f:     f,
+		kind:  kindDataset,
+		dtype: dtype,
+		shape: &Dataspace{dims: space.Dims()},
+	}
+	if props != nil && props.ChunkDims != nil {
+		if len(props.ChunkDims) != space.NDims() {
+			f.mu.Unlock()
+			return nil, fmt.Errorf("hdf5: chunk rank %d vs dataspace rank %d",
+				len(props.ChunkDims), space.NDims())
+		}
+		if len(props.ChunkDims) > maxRank {
+			f.mu.Unlock()
+			return nil, fmt.Errorf("hdf5: chunked rank %d exceeds maximum %d",
+				len(props.ChunkDims), maxRank)
+		}
+		for d, c := range props.ChunkDims {
+			if c == 0 {
+				f.mu.Unlock()
+				return nil, fmt.Errorf("hdf5: zero chunk dimension %d", d)
+			}
+		}
+		ds.lay = layout{
+			chunked:   true,
+			deflate:   props.Deflate,
+			chunkDims: append([]uint64(nil), props.ChunkDims...),
+			chunks:    newChunkIndex(),
+		}
+	} else if props != nil && props.Deflate {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("hdf5: the deflate filter requires chunked layout")
+	} else {
+		size := int64(space.Extent()) * int64(dtype.Size)
+		ds.lay = layout{addr: f.alloc(size), size: size}
+	}
+	g.o.links.Put(name, &link{name: name, kind: kindDataset, obj: ds})
+	f.mu.Unlock()
+	f.driver.MetaOp(tp.proc())
+	return &Dataset{o: ds}, nil
+}

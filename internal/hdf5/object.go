@@ -1,0 +1,284 @@
+package hdf5
+
+import (
+	"fmt"
+
+	"asyncio/internal/btree"
+)
+
+type objKind uint8
+
+const (
+	kindGroup   objKind = 1
+	kindDataset objKind = 2
+)
+
+// Object header message types.
+const (
+	msgLinkTable uint16 = 1
+	msgDatatype  uint16 = 2
+	msgDataspace uint16 = 3
+	msgLayout    uint16 = 4
+	msgAttribute uint16 = 5
+)
+
+const (
+	ohdrMagic    = "OHDR"
+	linkOrder    = 32 // B+tree order for group link tables
+	chunkOrder   = 64 // B+tree order for chunk indexes
+	layoutContig = 0
+	layoutChunk  = 1
+)
+
+// object is the in-memory form of any named thing in the file: a group
+// or a dataset. It mirrors an HDF5 object header.
+type object struct {
+	f    *File
+	kind objKind
+	addr int64 // address of the serialized header; 0 if never flushed
+
+	// Group state.
+	links *btree.Tree[string, *link]
+
+	// Dataset state.
+	dtype Datatype
+	shape *Dataspace
+	lay   layout
+
+	// Attributes, common to both kinds. Kept ordered by creation.
+	attrs []attrEntry
+}
+
+// link is a directory entry in a group. obj is nil until the child is
+// loaded from disk.
+type link struct {
+	name string
+	kind objKind
+	addr int64
+	obj  *object
+}
+
+type attrEntry struct {
+	name  string
+	dtype Datatype
+	shape *Dataspace
+	data  []byte
+}
+
+type layout struct {
+	chunked bool
+	// Contiguous layout.
+	addr int64
+	size int64
+	// Chunked layout. Chunks are keyed by their N-D grid coordinates
+	// (not a linear index), so the index survives Extend growing the
+	// dataset.
+	chunkDims []uint64
+	deflate   bool
+	chunks    *btree.Tree[chunkKey, chunkEntry]
+}
+
+// chunkKey is a chunk's grid coordinate, padded to maxRank and ordered
+// lexicographically.
+type chunkKey [maxRank]uint64
+
+// maxRank bounds dataset dimensionality (HDF5's own limit is 32; 8
+// covers every workload here).
+const maxRank = 8
+
+func chunkKeyLess(a, b chunkKey) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+type chunkEntry struct {
+	addr int64
+	size int64
+}
+
+func newLinkTable() *btree.Tree[string, *link] {
+	return btree.New[string, *link](linkOrder, func(a, b string) bool { return a < b })
+}
+
+func newChunkIndex() *btree.Tree[chunkKey, chunkEntry] {
+	return btree.New[chunkKey, chunkEntry](chunkOrder, chunkKeyLess)
+}
+
+// encode serializes the object header (without writing it). Child links
+// must already have resolved addresses.
+func (o *object) encode() []byte {
+	w := &writer{}
+	w.bytes([]byte(ohdrMagic))
+	w.u8(uint8(o.kind))
+	switch o.kind {
+	case kindGroup:
+		w.u16(msgLinkTable)
+		lw := &writer{}
+		lw.u32(uint32(o.links.Len()))
+		o.links.Ascend(func(name string, l *link) bool {
+			lw.str(name)
+			lw.u8(uint8(l.kind))
+			lw.u64(uint64(l.addr))
+			return true
+		})
+		w.u32(uint32(len(lw.buf)))
+		w.bytes(lw.buf)
+	case kindDataset:
+		w.u16(msgDatatype)
+		tw := &writer{}
+		o.dtype.encode(tw)
+		w.u32(uint32(len(tw.buf)))
+		w.bytes(tw.buf)
+
+		w.u16(msgDataspace)
+		sw := &writer{}
+		o.shape.encode(sw)
+		w.u32(uint32(len(sw.buf)))
+		w.bytes(sw.buf)
+
+		w.u16(msgLayout)
+		yw := &writer{}
+		if !o.lay.chunked {
+			yw.u8(layoutContig)
+			yw.u64(uint64(o.lay.addr))
+			yw.u64(uint64(o.lay.size))
+		} else {
+			yw.u8(layoutChunk)
+			var flags uint8
+			if o.lay.deflate {
+				flags |= 1
+			}
+			yw.u8(flags)
+			yw.u8(uint8(len(o.lay.chunkDims)))
+			for _, d := range o.lay.chunkDims {
+				yw.u64(d)
+			}
+			yw.u32(uint32(o.lay.chunks.Len()))
+			nd := len(o.lay.chunkDims)
+			o.lay.chunks.Ascend(func(key chunkKey, ce chunkEntry) bool {
+				for d := 0; d < nd; d++ {
+					yw.u64(key[d])
+				}
+				yw.u64(uint64(ce.addr))
+				yw.u64(uint64(ce.size))
+				return true
+			})
+		}
+		w.u32(uint32(len(yw.buf)))
+		w.bytes(yw.buf)
+	}
+	for _, a := range o.attrs {
+		w.u16(msgAttribute)
+		aw := &writer{}
+		aw.str(a.name)
+		a.dtype.encode(aw)
+		a.shape.encode(aw)
+		aw.u32(uint32(len(a.data)))
+		aw.bytes(a.data)
+		w.u32(uint32(len(aw.buf)))
+		w.bytes(aw.buf)
+	}
+	w.checksum()
+	return w.buf
+}
+
+// decodeObject parses a serialized object header.
+func decodeObject(f *File, buf []byte) (*object, error) {
+	payload, err := verifyChecksum(buf)
+	if err != nil {
+		return nil, err
+	}
+	r := newReader(payload)
+	if string(r.take(len(ohdrMagic))) != ohdrMagic {
+		return nil, fmt.Errorf("%w: bad object header magic", ErrCorrupt)
+	}
+	o := &object{f: f, kind: objKind(r.u8())}
+	if o.kind != kindGroup && o.kind != kindDataset {
+		return nil, fmt.Errorf("%w: unknown object kind %d", ErrCorrupt, o.kind)
+	}
+	if o.kind == kindGroup {
+		o.links = newLinkTable()
+	}
+	for r.err == nil && r.off < len(payload) {
+		mtype := r.u16()
+		mlen := int(r.u32())
+		body := r.take(mlen)
+		if r.err != nil {
+			break
+		}
+		mr := newReader(body)
+		switch mtype {
+		case msgLinkTable:
+			n := int(mr.u32())
+			for i := 0; i < n && mr.err == nil; i++ {
+				name := mr.str()
+				kind := objKind(mr.u8())
+				addr := int64(mr.u64())
+				o.links.Put(name, &link{name: name, kind: kind, addr: addr})
+			}
+		case msgDatatype:
+			o.dtype = decodeDatatype(mr)
+		case msgDataspace:
+			o.shape = decodeDataspace(mr)
+		case msgLayout:
+			switch mr.u8() {
+			case layoutContig:
+				o.lay.addr = int64(mr.u64())
+				o.lay.size = int64(mr.u64())
+			case layoutChunk:
+				o.lay.chunked = true
+				flags := mr.u8()
+				o.lay.deflate = flags&1 != 0
+				nd := int(mr.u8())
+				o.lay.chunkDims = make([]uint64, nd)
+				for i := range o.lay.chunkDims {
+					o.lay.chunkDims[i] = mr.u64()
+				}
+				o.lay.chunks = newChunkIndex()
+				n := int(mr.u32())
+				if nd > maxRank {
+					mr.fail("chunk rank %d exceeds max %d", nd, maxRank)
+				}
+				for i := 0; i < n && mr.err == nil; i++ {
+					var key chunkKey
+					for d := 0; d < nd; d++ {
+						key[d] = mr.u64()
+					}
+					addr := int64(mr.u64())
+					size := int64(mr.u64())
+					o.lay.chunks.Put(key, chunkEntry{addr: addr, size: size})
+				}
+			default:
+				mr.fail("unknown layout class")
+			}
+		case msgAttribute:
+			a := attrEntry{name: mr.str()}
+			a.dtype = decodeDatatype(mr)
+			a.shape = decodeDataspace(mr)
+			dl := int(mr.u32())
+			a.data = append([]byte(nil), mr.take(dl)...)
+			o.attrs = append(o.attrs, a)
+		default:
+			// Unknown messages are skipped for forward compatibility.
+		}
+		if mr.err != nil {
+			return nil, mr.err
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if o.kind == kindDataset {
+		if !o.dtype.Valid() || o.shape == nil {
+			return nil, fmt.Errorf("%w: dataset header missing type or shape", ErrCorrupt)
+		}
+		if o.lay.chunked && o.lay.chunks == nil {
+			return nil, fmt.Errorf("%w: chunked dataset without chunk index", ErrCorrupt)
+		}
+	}
+	return o, nil
+}

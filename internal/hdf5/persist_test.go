@@ -1,0 +1,141 @@
+package hdf5
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRandomTreePersistenceProperty builds a random object tree (nested
+// groups, datasets in every layout/filter combination, attributes),
+// closes the file, reopens it from the same store, and verifies the
+// complete structure and contents survive — the end-to-end contract of
+// the on-disk format.
+func TestRandomTreePersistenceProperty(t *testing.T) {
+	type dsSpec struct {
+		path    string
+		dims    []uint64
+		chunked bool
+		deflate bool
+		data    []byte
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		store := NewMemStore()
+		file, err := Create(store)
+		if err != nil {
+			return false
+		}
+		var specs []dsSpec
+		attrs := map[string]int64{} // group path -> attribute value
+
+		var build func(g *Group, path string, depth int)
+		build = func(g *Group, path string, depth int) {
+			if rng.Intn(2) == 0 {
+				v := rng.Int63()
+				if g.SetAttrInt64(nil, "meta", v) != nil {
+					return
+				}
+				attrs[path] = v
+			}
+			nKids := rng.Intn(3) + 1
+			for k := 0; k < nKids; k++ {
+				name := fmt.Sprintf("n%d", k)
+				if depth < 2 && rng.Intn(2) == 0 {
+					sub, err := g.CreateGroup(nil, name)
+					if err != nil {
+						continue
+					}
+					build(sub, path+"/"+name, depth+1)
+					continue
+				}
+				nd := rng.Intn(2) + 1
+				dims := make([]uint64, nd)
+				elems := uint64(1)
+				for d := range dims {
+					dims[d] = uint64(rng.Intn(12) + 1)
+					elems *= dims[d]
+				}
+				spec := dsSpec{
+					path:    path + "/" + name,
+					dims:    dims,
+					chunked: rng.Intn(2) == 0,
+				}
+				var props *CreateProps
+				if spec.chunked {
+					chunks := make([]uint64, nd)
+					for d := range chunks {
+						chunks[d] = uint64(rng.Intn(int(dims[d])) + 1)
+					}
+					spec.deflate = rng.Intn(2) == 0
+					props = &CreateProps{ChunkDims: chunks, Deflate: spec.deflate}
+				}
+				space, err := NewSimple(dims...)
+				if err != nil {
+					continue
+				}
+				ds, err := g.CreateDataset(nil, name, U8, space, props)
+				if err != nil {
+					continue
+				}
+				spec.data = make([]byte, elems)
+				rng.Read(spec.data)
+				if ds.Write(nil, nil, spec.data) != nil {
+					return
+				}
+				specs = append(specs, spec)
+			}
+		}
+		build(file.Root(), "", 0)
+		if file.Close(nil) != nil {
+			return false
+		}
+
+		re, err := Open(store)
+		if err != nil {
+			return false
+		}
+		for path, want := range attrs {
+			g := re.Root()
+			if path != "" {
+				if g, err = re.Root().OpenGroup(nil, path); err != nil {
+					return false
+				}
+			}
+			if v, err := g.AttrInt64(nil, "meta"); err != nil || v != want {
+				return false
+			}
+		}
+		for _, spec := range specs {
+			ds, err := re.Root().OpenDataset(nil, spec.path)
+			if err != nil {
+				return false
+			}
+			if ds.Chunked() != spec.chunked || ds.Deflated() != spec.deflate {
+				return false
+			}
+			dims := ds.Dims()
+			if len(dims) != len(spec.dims) {
+				return false
+			}
+			for d := range dims {
+				if dims[d] != spec.dims[d] {
+					return false
+				}
+			}
+			out := make([]byte, len(spec.data))
+			if ds.Read(nil, nil, out) != nil {
+				return false
+			}
+			if !bytes.Equal(out, spec.data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package hdf5
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// writer accumulates little-endian encoded metadata.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) bytes(b []byte) {
+	w.buf = append(w.buf, b...)
+}
+
+func (w *writer) str(s string) {
+	if len(s) > 0xFFFF {
+		panic(fmt.Sprintf("hdf5: string too long (%d bytes)", len(s)))
+	}
+	w.u16(uint16(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// checksum appends a CRC32 (Castagnoli) over everything written so far.
+func (w *writer) checksum() {
+	w.u32(crc32.Checksum(w.buf, crcTable))
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// reader decodes little-endian metadata with sticky error state, so
+// parse code reads linearly and checks once.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func newReader(b []byte) *reader { return &reader{buf: b} }
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.fail("truncated at offset %d (need %d of %d)", r.off, n, len(r.buf))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) str() string {
+	n := int(r.u16())
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// verifyChecksum checks that the final 4 bytes of buf are the CRC32 of
+// the rest, and returns the payload.
+func verifyChecksum(buf []byte) ([]byte, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("%w: block shorter than checksum", ErrCorrupt)
+	}
+	payload := buf[:len(buf)-4]
+	want := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %08x, want %08x)", ErrCorrupt, got, want)
+	}
+	return payload, nil
+}

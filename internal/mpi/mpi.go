@@ -1,0 +1,428 @@
+// Package mpi implements a simulated MPI runtime on the virtual clock.
+//
+// Ranks are vclock processes; one Comm handle per rank gives the usual
+// SPMD surface: Rank/Size, Barrier, Bcast, Reduce, Allreduce, Gather,
+// Allgather, and tagged point-to-point Send/Recv. Collectives follow MPI
+// matching semantics: every rank must issue the same collectives in the
+// same order. Data is exchanged through shared memory (this is a
+// single-process simulation); the cost model charges a configurable
+// latency per collective, which is all the evaluated workloads need —
+// the paper folds communication time into the computation phase.
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"asyncio/internal/vclock"
+)
+
+// Costs configures the communication cost model.
+type Costs struct {
+	// PointToPointLatency is charged to the receiver per matched message.
+	PointToPointLatency time.Duration
+	// CollectiveLatency is charged to every rank per collective, scaled
+	// by ceil(log2(size)) hops.
+	CollectiveLatency time.Duration
+}
+
+// DefaultCosts are small but nonzero, so collectives are visible in
+// traces without dominating any phase.
+func DefaultCosts() Costs {
+	return Costs{
+		PointToPointLatency: 2 * time.Microsecond,
+		CollectiveLatency:   1 * time.Microsecond,
+	}
+}
+
+// World is the shared state behind a set of ranks.
+type World struct {
+	mu      sync.Mutex
+	clk     *vclock.Clock
+	size    int
+	costs   Costs
+	colls   map[int64]*collSlot
+	boxes   map[msgKey]*mailbox
+	subs    map[subKey]*World
+	abort   error
+	aborted bool
+}
+
+// abortPanic unwinds a rank goroutine after the world aborts, mirroring
+// MPI_Abort's termination semantics. Recovered by the rank wrapper.
+type abortPanic struct{}
+
+type msgKey struct {
+	src, dst, tag int
+}
+
+type mailbox struct {
+	queue   []any
+	waiters []*recvWaiter
+}
+
+type recvWaiter struct {
+	ev  *vclock.Event
+	msg any
+}
+
+type collSlot struct {
+	arrived int
+	data    []any
+	ev      *vclock.Event
+	result  any
+}
+
+// Comm is one rank's communicator handle.
+type Comm struct {
+	w    *World
+	rank int
+	p    *vclock.Proc
+	seq  int64
+}
+
+// Run spawns size rank processes on clk, each executing fn with its own
+// Comm, and returns the World immediately. Use clk.Wait (or World.Barrier
+// patterns inside fn) to join.
+func Run(clk *vclock.Clock, size int, costs Costs, fn func(c *Comm)) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: invalid world size %d", size))
+	}
+	w := &World{
+		clk:   clk,
+		size:  size,
+		costs: costs,
+		colls: make(map[int64]*collSlot),
+		boxes: make(map[msgKey]*mailbox),
+	}
+	release := clk.Hold()
+	defer release()
+	for r := 0; r < size; r++ {
+		c := &Comm{w: w, rank: r}
+		clk.Go(fmt.Sprintf("rank%d", r), func(p *vclock.Proc) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(abortPanic); ok {
+						return // world aborted; unwind quietly
+					}
+					panic(r)
+				}
+			}()
+			c.p = p
+			fn(c)
+		})
+	}
+	return w
+}
+
+// Rank returns this rank's index in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.w.size }
+
+// Proc returns the rank's virtual-clock process, for Sleep/Now.
+func (c *Comm) Proc() *vclock.Proc { return c.p }
+
+// Now returns the current virtual time.
+func (c *Comm) Now() time.Duration { return c.p.Now() }
+
+// Abort records an error on the world and releases every rank blocked in
+// a collective or receive — those ranks unwind like MPI_Abort. The first
+// error wins. Use World.Err after clk.Wait to check the run.
+func (c *Comm) Abort(err error) {
+	w := c.w
+	w.mu.Lock()
+	if w.abort == nil {
+		w.abort = fmt.Errorf("rank %d: %w", c.rank, err)
+	}
+	w.aborted = true
+	var evs []*vclock.Event
+	for _, slot := range w.colls {
+		evs = append(evs, slot.ev)
+	}
+	for _, mb := range w.boxes {
+		for _, wt := range mb.waiters {
+			evs = append(evs, wt.ev)
+		}
+		mb.waiters = nil
+	}
+	w.mu.Unlock()
+	for _, ev := range evs {
+		ev.Fire()
+	}
+}
+
+func (w *World) checkAborted() {
+	w.mu.Lock()
+	aborted := w.aborted
+	w.mu.Unlock()
+	if aborted {
+		panic(abortPanic{})
+	}
+}
+
+// Err returns the first error recorded via Abort, if any.
+func (w *World) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.abort
+}
+
+func (w *World) collLatency() time.Duration {
+	hops := int(math.Ceil(math.Log2(float64(w.size))))
+	if hops < 1 {
+		hops = 1
+	}
+	return time.Duration(hops) * w.costs.CollectiveLatency
+}
+
+// collective is the rendezvous behind every collective: rank contributes
+// a value; the last arriving rank computes the result from all
+// contributions and wakes the others. All ranks leave at the same virtual
+// instant plus the collective latency.
+func collective[R any](c *Comm, contrib any, compute func(data []any) R) R {
+	c.seq++
+	key := c.seq
+	w := c.w
+	w.mu.Lock()
+	if w.aborted {
+		w.mu.Unlock()
+		panic(abortPanic{})
+	}
+	slot, ok := w.colls[key]
+	if !ok {
+		slot = &collSlot{data: make([]any, w.size), ev: vclock.NewEvent(w.clk)}
+		w.colls[key] = slot
+	}
+	slot.data[c.rank] = contrib
+	slot.arrived++
+	last := slot.arrived == w.size
+	if last {
+		delete(w.colls, key)
+	}
+	w.mu.Unlock()
+	if last {
+		slot.result = compute(slot.data)
+		slot.ev.Fire()
+	} else {
+		slot.ev.Wait(c.p)
+		w.checkAborted()
+	}
+	c.p.Sleep(w.collLatency())
+	return slot.result.(R)
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	collective(c, nil, func([]any) struct{} { return struct{}{} })
+}
+
+// Bcast distributes root's value to every rank.
+func Bcast[T any](c *Comm, v T, root int) T {
+	return collective(c, v, func(data []any) T { return data[root].(T) })
+}
+
+// Reduce combines all contributions with op; only root receives the
+// result (other ranks get the zero value), mirroring MPI_Reduce.
+func Reduce[T any](c *Comm, v T, op func(a, b T) T, root int) T {
+	res := collective(c, v, func(data []any) T {
+		acc := data[0].(T)
+		for _, d := range data[1:] {
+			acc = op(acc, d.(T))
+		}
+		return acc
+	})
+	if c.rank != root {
+		var zero T
+		return zero
+	}
+	return res
+}
+
+// Allreduce combines all contributions with op; every rank receives the
+// result.
+func Allreduce[T any](c *Comm, v T, op func(a, b T) T) T {
+	return collective(c, v, func(data []any) T {
+		acc := data[0].(T)
+		for _, d := range data[1:] {
+			acc = op(acc, d.(T))
+		}
+		return acc
+	})
+}
+
+// Gather collects one value per rank, ordered by rank; only root receives
+// the slice (others get nil).
+func Gather[T any](c *Comm, v T, root int) []T {
+	res := collective(c, v, func(data []any) []T {
+		out := make([]T, len(data))
+		for i, d := range data {
+			out[i] = d.(T)
+		}
+		return out
+	})
+	if c.rank != root {
+		return nil
+	}
+	return res
+}
+
+// Allgather collects one value per rank, ordered by rank, on every rank.
+func Allgather[T any](c *Comm, v T) []T {
+	return collective(c, v, func(data []any) []T {
+		out := make([]T, len(data))
+		for i, d := range data {
+			out[i] = d.(T)
+		}
+		return out
+	})
+}
+
+// Send delivers v to rank dst with the given tag. Sends are buffered and
+// never block.
+func Send[T any](c *Comm, dst, tag int, v T) {
+	w := c.w
+	if dst < 0 || dst >= w.size {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", dst, w.size))
+	}
+	key := msgKey{src: c.rank, dst: dst, tag: tag}
+	w.mu.Lock()
+	if w.aborted {
+		w.mu.Unlock()
+		panic(abortPanic{})
+	}
+	mb, ok := w.boxes[key]
+	if !ok {
+		mb = &mailbox{}
+		w.boxes[key] = mb
+	}
+	if len(mb.waiters) > 0 {
+		wt := mb.waiters[0]
+		mb.waiters = mb.waiters[1:]
+		wt.msg = v
+		w.mu.Unlock()
+		wt.ev.Fire()
+		return
+	}
+	mb.queue = append(mb.queue, v)
+	w.mu.Unlock()
+}
+
+// Recv blocks until a message from rank src with the given tag arrives,
+// and returns it. Messages from the same (src, tag) arrive in send order.
+func Recv[T any](c *Comm, src, tag int) T {
+	w := c.w
+	if src < 0 || src >= w.size {
+		panic(fmt.Sprintf("mpi: Recv from invalid rank %d (size %d)", src, w.size))
+	}
+	key := msgKey{src: src, dst: c.rank, tag: tag}
+	w.mu.Lock()
+	if w.aborted {
+		w.mu.Unlock()
+		panic(abortPanic{})
+	}
+	mb, ok := w.boxes[key]
+	if !ok {
+		mb = &mailbox{}
+		w.boxes[key] = mb
+	}
+	var msg any
+	if len(mb.queue) > 0 && len(mb.waiters) == 0 {
+		msg = mb.queue[0]
+		mb.queue = mb.queue[1:]
+		w.mu.Unlock()
+	} else {
+		wt := &recvWaiter{ev: vclock.NewEvent(w.clk)}
+		mb.waiters = append(mb.waiters, wt)
+		w.mu.Unlock()
+		wt.ev.Wait(c.p)
+		w.checkAborted()
+		msg = wt.msg
+	}
+	c.p.Sleep(w.costs.PointToPointLatency)
+	return msg.(T)
+}
+
+// Scatter distributes root's slice, one element per rank, mirroring
+// MPI_Scatter. Root must supply exactly Size elements; other ranks pass
+// nil.
+func Scatter[T any](c *Comm, values []T, root int) T {
+	return collective(c, values, func(data []any) []T {
+		vs := data[root].([]T)
+		if len(vs) != c.w.size {
+			panic(fmt.Sprintf("mpi: Scatter with %d values for %d ranks", len(vs), c.w.size))
+		}
+		return vs
+	})[c.rank]
+}
+
+// Scan computes the inclusive prefix reduction over ranks: rank r
+// receives op(v0, v1, ..., vr), mirroring MPI_Scan.
+func Scan[T any](c *Comm, v T, op func(a, b T) T) T {
+	return collective(c, v, func(data []any) []T {
+		out := make([]T, len(data))
+		acc := data[0].(T)
+		out[0] = acc
+		for i := 1; i < len(data); i++ {
+			acc = op(acc, data[i].(T))
+			out[i] = acc
+		}
+		return out
+	})[c.rank]
+}
+
+// Split partitions the world into sub-communicators by color, mirroring
+// MPI_Comm_split with key = existing rank order. Every rank must call
+// it; the returned Comm spans the ranks that passed the same color and
+// shares the parent's clock, costs, and abort state.
+func (c *Comm) Split(color int) *Comm {
+	type member struct {
+		rank, color int
+	}
+	members := collective(c, member{rank: c.rank, color: color}, func(data []any) []member {
+		out := make([]member, len(data))
+		for i, d := range data {
+			out[i] = d.(member)
+		}
+		return out
+	})
+	// Sub-communicator worlds are memoized per (collective instance,
+	// color) on the parent so all members share state.
+	key := subKey{seq: c.seq, color: color}
+	var newRank, newSize int
+	for _, m := range members {
+		if m.color != color {
+			continue
+		}
+		if m.rank < c.rank {
+			newRank++
+		}
+		newSize++
+	}
+	w := c.w
+	w.mu.Lock()
+	if w.subs == nil {
+		w.subs = make(map[subKey]*World)
+	}
+	sub, ok := w.subs[key]
+	if !ok {
+		sub = &World{
+			clk:   w.clk,
+			size:  newSize,
+			costs: w.costs,
+			colls: make(map[int64]*collSlot),
+			boxes: make(map[msgKey]*mailbox),
+		}
+		w.subs[key] = sub
+	}
+	w.mu.Unlock()
+	return &Comm{w: sub, rank: newRank, p: c.p}
+}
+
+type subKey struct {
+	seq   int64
+	color int
+}

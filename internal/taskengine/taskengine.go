@@ -1,0 +1,183 @@
+// Package taskengine is a lightweight tasking framework in the spirit of
+// Argobots, which the HDF5 asynchronous VOL connector uses for its
+// background threads. An Engine owns execution streams; each Stream is a
+// single virtual-clock process draining a FIFO of tasks. Tasks may
+// declare dependencies on other tasks (even across streams) and expose a
+// future-like Wait.
+//
+// The async VOL connector (internal/asyncvol) creates one stream per
+// simulated MPI process, matching vol-async's one-background-thread-per-
+// process design.
+package taskengine
+
+import (
+	"fmt"
+	"sync"
+
+	"asyncio/internal/vclock"
+)
+
+// Engine creates and tracks streams on one clock.
+type Engine struct {
+	clk *vclock.Clock
+
+	mu      sync.Mutex
+	streams []*Stream
+}
+
+// New returns an Engine on clk.
+func New(clk *vclock.Clock) *Engine {
+	return &Engine{clk: clk}
+}
+
+// Clock returns the engine's clock.
+func (e *Engine) Clock() *vclock.Clock { return e.clk }
+
+// NewStream spawns an execution stream: a dedicated process that runs
+// pushed tasks in FIFO order. The stream runs until Shutdown.
+func (e *Engine) NewStream(name string) *Stream {
+	s := &Stream{
+		e:      e,
+		name:   name,
+		wake:   vclock.NewEvent(e.clk),
+		exited: vclock.NewEvent(e.clk),
+	}
+	e.mu.Lock()
+	e.streams = append(e.streams, s)
+	e.mu.Unlock()
+	e.clk.Go("stream:"+name, s.run)
+	return s
+}
+
+// ShutdownAll shuts down every stream created so far. It does not wait;
+// use each stream's Join or clk.Wait.
+func (e *Engine) ShutdownAll() {
+	e.mu.Lock()
+	streams := append([]*Stream(nil), e.streams...)
+	e.mu.Unlock()
+	for _, s := range streams {
+		s.Shutdown()
+	}
+}
+
+// Stream is a single background execution context.
+type Stream struct {
+	e    *Engine
+	name string
+
+	mu      sync.Mutex
+	queue   []*Task
+	wake    *vclock.Event
+	stopped bool
+
+	exited *vclock.Event
+}
+
+// Name returns the stream name.
+func (s *Stream) Name() string { return s.name }
+
+// Task is a unit of work with future semantics.
+type Task struct {
+	name string
+	deps []*Task
+	fn   func(p *vclock.Proc) error
+	done *vclock.Event
+
+	mu  sync.Mutex
+	err error
+}
+
+// Push enqueues fn on the stream. The task starts only after every task
+// in deps has completed. Pushing to a stopped stream panics — it is a
+// lifecycle bug in the caller.
+func (s *Stream) Push(name string, deps []*Task, fn func(p *vclock.Proc) error) *Task {
+	t := &Task{
+		name: name,
+		deps: append([]*Task(nil), deps...),
+		fn:   fn,
+		done: vclock.NewEvent(s.e.clk),
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("taskengine: Push(%q) on stopped stream %q", name, s.name))
+	}
+	s.queue = append(s.queue, t)
+	wake := s.wake
+	s.mu.Unlock()
+	wake.Fire()
+	return t
+}
+
+// Shutdown asks the stream to exit after draining its queue. Idempotent.
+func (s *Stream) Shutdown() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	wake := s.wake
+	s.mu.Unlock()
+	wake.Fire()
+}
+
+// Join blocks p until the stream process has exited.
+func (s *Stream) Join(p *vclock.Proc) { s.exited.Wait(p) }
+
+// Pending returns the number of queued (not yet started) tasks.
+func (s *Stream) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+func (s *Stream) run(p *vclock.Proc) {
+	defer s.exited.Fire()
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			if s.stopped {
+				s.mu.Unlock()
+				return
+			}
+			// Re-arm the wake event (events are one-shot) and sleep
+			// until more work arrives.
+			s.wake = vclock.NewEvent(s.e.clk)
+			wake := s.wake
+			s.mu.Unlock()
+			wake.Wait(p)
+			continue
+		}
+		t := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		for _, dep := range t.deps {
+			dep.done.Wait(p)
+		}
+		err := t.fn(p)
+		t.mu.Lock()
+		t.err = err
+		t.mu.Unlock()
+		t.done.Fire()
+	}
+}
+
+// Wait blocks p until the task completes, returning the task's error.
+func (t *Task) Wait(p *vclock.Proc) error {
+	t.done.Wait(p)
+	return t.Err()
+}
+
+// Done reports whether the task has completed.
+func (t *Task) Done() bool { return t.done.Fired() }
+
+// Err returns the task's error; nil until completion.
+func (t *Task) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Name returns the task name.
+func (t *Task) Name() string { return t.name }

@@ -1,0 +1,242 @@
+package taskengine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"asyncio/internal/vclock"
+)
+
+func TestTasksRunInFIFOOrder(t *testing.T) {
+	clk := vclock.New()
+	e := New(clk)
+	s := e.NewStream("bg")
+	var mu sync.Mutex
+	var order []int
+	for i := 0; i < 10; i++ {
+		s.Push("t", nil, func(p *vclock.Proc) error {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return nil
+		})
+	}
+	s.Shutdown()
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestTaskWaitReturnsError(t *testing.T) {
+	clk := vclock.New()
+	e := New(clk)
+	s := e.NewStream("bg")
+	sentinel := errors.New("io failed")
+	task := s.Push("fail", nil, func(p *vclock.Proc) error { return sentinel })
+	var got error
+	clk.Go("waiter", func(p *vclock.Proc) {
+		got = task.Wait(p)
+		s.Shutdown()
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(got, sentinel) {
+		t.Fatalf("Wait = %v", got)
+	}
+	if !task.Done() {
+		t.Fatal("task not done")
+	}
+}
+
+func TestTaskOverlapsWithForeground(t *testing.T) {
+	// The core asynchronous-I/O property: a 10s background task pushed at
+	// t=0 overlaps a 10s foreground sleep, so the waiter finishes at 10s,
+	// not 20s.
+	clk := vclock.New()
+	e := New(clk)
+	s := e.NewStream("bg")
+	var end time.Duration
+	clk.Go("fg", func(p *vclock.Proc) {
+		task := s.Push("io", nil, func(q *vclock.Proc) error {
+			q.Sleep(10 * time.Second)
+			return nil
+		})
+		p.Sleep(10 * time.Second) // compute phase
+		if err := task.Wait(p); err != nil {
+			t.Error(err)
+		}
+		end = p.Now()
+		s.Shutdown()
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 10*time.Second {
+		t.Fatalf("end = %v, want 10s (full overlap)", end)
+	}
+}
+
+func TestDependenciesAcrossStreams(t *testing.T) {
+	clk := vclock.New()
+	e := New(clk)
+	s1 := e.NewStream("a")
+	s2 := e.NewStream("b")
+	var mu sync.Mutex
+	var order []string
+	slow := s1.Push("slow", nil, func(p *vclock.Proc) error {
+		p.Sleep(5 * time.Second)
+		mu.Lock()
+		order = append(order, "slow")
+		mu.Unlock()
+		return nil
+	})
+	dep := s2.Push("dep", []*Task{slow}, func(p *vclock.Proc) error {
+		mu.Lock()
+		order = append(order, "dep")
+		mu.Unlock()
+		return nil
+	})
+	clk.Go("join", func(p *vclock.Proc) {
+		if err := dep.Wait(p); err != nil {
+			t.Error(err)
+		}
+		if p.Now() != 5*time.Second {
+			t.Errorf("dep completed at %v, want 5s", p.Now())
+		}
+		e.ShutdownAll()
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "slow" || order[1] != "dep" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestShutdownDrainsQueue(t *testing.T) {
+	clk := vclock.New()
+	e := New(clk)
+	s := e.NewStream("bg")
+	ran := 0
+	var mu sync.Mutex
+	for i := 0; i < 5; i++ {
+		s.Push("t", nil, func(p *vclock.Proc) error {
+			p.Sleep(time.Second)
+			mu.Lock()
+			ran++
+			mu.Unlock()
+			return nil
+		})
+	}
+	s.Shutdown()
+	s.Shutdown() // idempotent
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 5 {
+		t.Fatalf("ran = %d, want 5 (queue must drain before exit)", ran)
+	}
+}
+
+func TestPushAfterShutdownPanics(t *testing.T) {
+	clk := vclock.New()
+	e := New(clk)
+	s := e.NewStream("bg")
+	s.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Push after Shutdown did not panic")
+		}
+		_ = clk.Wait()
+	}()
+	s.Push("late", nil, func(*vclock.Proc) error { return nil })
+}
+
+func TestJoinWaitsForExit(t *testing.T) {
+	clk := vclock.New()
+	e := New(clk)
+	s := e.NewStream("bg")
+	s.Push("work", nil, func(p *vclock.Proc) error {
+		p.Sleep(3 * time.Second)
+		return nil
+	})
+	s.Shutdown()
+	var joined time.Duration
+	clk.Go("joiner", func(p *vclock.Proc) {
+		s.Join(p)
+		joined = p.Now()
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if joined != 3*time.Second {
+		t.Fatalf("Join returned at %v, want 3s", joined)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	clk := vclock.New()
+	e := New(clk)
+	s := e.NewStream("bg")
+	// Block the stream with a task waiting on an event, then queue more.
+	gate := vclock.NewEvent(clk)
+	s.Push("gate", nil, func(p *vclock.Proc) error {
+		gate.Wait(p)
+		return nil
+	})
+	clk.Go("driver", func(p *vclock.Proc) {
+		p.Sleep(time.Second)
+		s.Push("a", nil, func(*vclock.Proc) error { return nil })
+		s.Push("b", nil, func(*vclock.Proc) error { return nil })
+		if n := s.Pending(); n != 2 {
+			t.Errorf("Pending = %d, want 2", n)
+		}
+		gate.Fire()
+		s.Shutdown()
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Pending(); n != 0 {
+		t.Fatalf("Pending after drain = %d", n)
+	}
+}
+
+func TestManyStreamsConcurrent(t *testing.T) {
+	clk := vclock.New()
+	e := New(clk)
+	const n = 32
+	var mu sync.Mutex
+	total := 0
+	for i := 0; i < n; i++ {
+		s := e.NewStream("bg")
+		for j := 0; j < 10; j++ {
+			s.Push("t", nil, func(p *vclock.Proc) error {
+				p.Sleep(time.Second)
+				mu.Lock()
+				total++
+				mu.Unlock()
+				return nil
+			})
+		}
+		s.Shutdown()
+	}
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if total != n*10 {
+		t.Fatalf("total = %d", total)
+	}
+	// Streams are parallel: 10 sequential seconds each, all overlapped.
+	if now := clk.Now(); now != 10*time.Second {
+		t.Fatalf("final time = %v, want 10s", now)
+	}
+}

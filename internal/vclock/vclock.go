@@ -1,0 +1,359 @@
+// Package vclock implements a deterministic discrete-event virtual clock.
+//
+// Every concurrent entity in the simulation — MPI ranks, asynchronous I/O
+// background streams, file-system completion machinery — runs as a Proc
+// registered with a Clock. Virtual time only advances when every live Proc
+// is blocked (sleeping, waiting on an Event, or waiting on a Timer), at
+// which point the clock jumps to the earliest pending wakeup. This gives
+// fully deterministic runs that simulate hours of machine time in
+// milliseconds of wall time while preserving the real concurrency
+// structure: overlap, blocking, and contention.
+//
+// The package deliberately mirrors the small set of primitives a
+// conservative parallel discrete-event simulation needs: processes
+// (Go/Proc), time (Now/Sleep), one-shot condition signalling (Event), and
+// cancellable timers with callbacks (AfterFunc). Timer callbacks run
+// without the clock lock held and count as runnable work, so a callback
+// may freely use the full public API; time cannot advance underneath it.
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Clock is a discrete-event virtual clock. The zero value is not usable;
+// construct with New.
+type Clock struct {
+	mu      sync.Mutex
+	now     time.Duration
+	queue   timerHeap
+	seq     int64 // tiebreak for deterministic ordering of same-time entries
+	running int   // procs (and in-flight callbacks) currently runnable
+	alive   int   // procs started and not yet finished
+	procs   map[*Proc]struct{}
+	idle    *sync.Cond // signalled when alive drops to zero
+	dead    bool       // deadlock detected; clock is poisoned
+	deadMsg string
+}
+
+// New returns a Clock set to virtual time zero.
+func New() *Clock {
+	c := &Clock{procs: make(map[*Proc]struct{})}
+	c.idle = sync.NewCond(&c.mu)
+	return c
+}
+
+// Proc is a process registered with a Clock. All blocking operations on
+// the clock take the Proc so the scheduler can account for it.
+type Proc struct {
+	c     *Clock
+	name  string
+	state string // human-readable blocking reason, for deadlock reports
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Clock returns the clock the process belongs to.
+func (p *Proc) Clock() *Clock { return p.c }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.c.Now() }
+
+// Go spawns fn as a new process. It may be called from the host goroutine
+// or from within another process. The process is runnable immediately.
+func (c *Clock) Go(name string, fn func(p *Proc)) {
+	p := &Proc{c: c, name: name}
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		panic("vclock: Go on deadlocked clock: " + c.deadMsg)
+	}
+	c.alive++
+	c.running++
+	c.procs[p] = struct{}{}
+	c.mu.Unlock()
+	go func() {
+		defer func() {
+			c.mu.Lock()
+			c.alive--
+			delete(c.procs, p)
+			if c.alive == 0 {
+				c.idle.Broadcast()
+			}
+			c.unblockLocked() // running--; may advance time
+			c.mu.Unlock()
+		}()
+		fn(p)
+	}()
+}
+
+// Hold pins virtual time: while held, the clock treats the holder as
+// runnable work, so time cannot advance and deadlock detection is
+// suppressed. Use it from host code that spawns processes in a loop —
+// without it, the first spawned process blocking would look like a
+// deadlock before the second is created. The returned release function
+// is idempotent.
+func (c *Clock) Hold() (release func()) {
+	c.mu.Lock()
+	c.running++
+	c.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			c.unblockLocked()
+			c.mu.Unlock()
+		})
+	}
+}
+
+// Wait blocks the host goroutine (in real time) until every process has
+// finished. It returns an error if the clock deadlocked.
+func (c *Clock) Wait() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.alive > 0 && !c.dead {
+		c.idle.Wait()
+	}
+	if c.dead {
+		return fmt.Errorf("vclock: deadlock: %s", c.deadMsg)
+	}
+	return nil
+}
+
+// Sleep suspends the process for d of virtual time. Non-positive d yields
+// the processor for the current instant (other runnable work at the same
+// timestamp may interleave) without advancing time for this process.
+func (p *Proc) Sleep(d time.Duration) {
+	c := p.c
+	if d < 0 {
+		d = 0
+	}
+	wake := make(chan struct{})
+	c.mu.Lock()
+	c.push(&timerEntry{at: c.now + d, wake: wake})
+	p.state = fmt.Sprintf("sleeping until %v", c.now+d)
+	c.blockLocked()
+	c.mu.Unlock()
+	<-wake
+}
+
+// Yield lets other runnable work at the current instant proceed.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Event is a one-shot signal in virtual time. Waiters block until Fire is
+// called; waits after Fire return immediately. The zero value is not
+// usable; construct with NewEvent.
+type Event struct {
+	c       *Clock
+	fired   bool
+	waiters []chan struct{}
+}
+
+// NewEvent returns an unfired Event on c.
+func NewEvent(c *Clock) *Event { return &Event{c: c} }
+
+// Fired reports whether the event has been fired.
+func (e *Event) Fired() bool {
+	e.c.mu.Lock()
+	defer e.c.mu.Unlock()
+	return e.fired
+}
+
+// Fire signals the event, waking all current waiters at the present
+// instant. Firing an already-fired event is a no-op. Fire may be called
+// from a process, a timer callback, or the host goroutine.
+func (e *Event) Fire() {
+	c := e.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.fired {
+		return
+	}
+	e.fired = true
+	for _, ch := range e.waiters {
+		c.running++
+		close(ch)
+	}
+	e.waiters = nil
+}
+
+// Wait blocks p until the event fires. Returns immediately if already
+// fired.
+func (e *Event) Wait(p *Proc) {
+	c := e.c
+	c.mu.Lock()
+	if e.fired {
+		c.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	e.waiters = append(e.waiters, ch)
+	p.state = "waiting on event"
+	c.blockLocked()
+	c.mu.Unlock()
+	<-ch
+}
+
+// Timer is a cancellable scheduled callback created by AfterFunc.
+type Timer struct {
+	c     *Clock
+	entry *timerEntry
+}
+
+// AfterFunc schedules fn to run at virtual time Now()+d. The callback runs
+// without the clock lock held and counts as runnable work, so time cannot
+// advance while it executes; it may call any Clock, Event, or Timer
+// method, but must not block on Proc operations (it has no Proc).
+func (c *Clock) AfterFunc(d time.Duration, fn func(now time.Duration)) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := &timerEntry{at: c.now + d, fn: fn}
+	c.push(e)
+	return &Timer{c: c, entry: e}
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending
+// (true) or had already fired or been stopped (false).
+func (t *Timer) Stop() bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	if t.entry.canceled || t.entry.fired {
+		return false
+	}
+	t.entry.canceled = true
+	return true
+}
+
+// timerEntry is a heap element: either a proc wakeup (wake != nil) or a
+// scheduled callback (fn != nil).
+type timerEntry struct {
+	at       time.Duration
+	seq      int64
+	wake     chan struct{}
+	fn       func(now time.Duration)
+	canceled bool
+	fired    bool
+}
+
+func (c *Clock) push(e *timerEntry) {
+	c.seq++
+	e.seq = c.seq
+	heap.Push(&c.queue, e)
+}
+
+// blockLocked marks the calling process as blocked and advances virtual
+// time if it was the last runnable one. Caller holds c.mu.
+func (c *Clock) blockLocked() {
+	c.running--
+	c.maybeAdvanceLocked()
+}
+
+// unblockLocked is blockLocked for process exit paths.
+func (c *Clock) unblockLocked() {
+	c.running--
+	c.maybeAdvanceLocked()
+}
+
+func (c *Clock) maybeAdvanceLocked() {
+	if c.running > 0 || c.dead {
+		return
+	}
+	// Drop canceled entries from the front.
+	for c.queue.Len() > 0 && c.queue[0].canceled {
+		heap.Pop(&c.queue)
+	}
+	if c.queue.Len() == 0 {
+		if c.alive > 0 {
+			// Every process is blocked and nothing is scheduled: the
+			// simulation has deadlocked. Poison the clock so Wait
+			// reports it; the parked process goroutines are leaked,
+			// which is acceptable for a diagnosable programming error.
+			c.dead = true
+			c.deadMsg = c.describeStuckLocked()
+			c.idle.Broadcast()
+		}
+		return
+	}
+	t := c.queue[0].at
+	c.now = t
+	var cbs []*timerEntry
+	for c.queue.Len() > 0 && (c.queue[0].at == t || c.queue[0].canceled) {
+		e := heap.Pop(&c.queue).(*timerEntry)
+		if e.canceled {
+			continue
+		}
+		e.fired = true
+		if e.wake != nil {
+			c.running++
+			close(e.wake)
+		} else {
+			cbs = append(cbs, e)
+		}
+	}
+	if len(cbs) > 0 {
+		// Callbacks count as runnable work so time holds still while
+		// they execute. They run on a fresh goroutine because the
+		// current one belongs to a process that is itself blocking.
+		c.running += len(cbs)
+		go func(now time.Duration) {
+			for _, e := range cbs {
+				e.fn(now)
+				c.mu.Lock()
+				c.unblockLocked()
+				c.mu.Unlock()
+			}
+		}(t)
+	}
+}
+
+func (c *Clock) describeStuckLocked() string {
+	names := make([]string, 0, len(c.procs))
+	for p := range c.procs {
+		st := p.state
+		if st == "" {
+			st = "running"
+		}
+		names = append(names, fmt.Sprintf("%s (%s)", p.name, st))
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("%d proc(s) blocked with no pending timers at t=%v: %s",
+		len(names), c.now, strings.Join(names, ", "))
+}
+
+// timerHeap orders entries by time, then insertion sequence.
+type timerHeap []*timerEntry
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(*timerEntry)) }
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,395 @@
+package vclock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesTime(t *testing.T) {
+	c := New()
+	var got time.Duration
+	c.Go("a", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		got = p.Now()
+	})
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 5*time.Second {
+		t.Fatalf("Now after Sleep(5s) = %v, want 5s", got)
+	}
+}
+
+func TestSleepZeroDoesNotAdvance(t *testing.T) {
+	c := New()
+	var got time.Duration
+	c.Go("a", func(p *Proc) {
+		p.Sleep(3 * time.Second)
+		p.Yield()
+		got = p.Now()
+	})
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", got)
+	}
+}
+
+func TestNegativeSleepTreatedAsYield(t *testing.T) {
+	c := New()
+	c.Go("a", func(p *Proc) {
+		p.Sleep(-time.Second)
+		if p.Now() != 0 {
+			t.Errorf("Now = %v, want 0", p.Now())
+		}
+	})
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	c := New()
+	var mu sync.Mutex
+	var order []string
+	log := func(s string) {
+		mu.Lock()
+		order = append(order, s)
+		mu.Unlock()
+	}
+	c.Go("a", func(p *Proc) {
+		p.Sleep(1 * time.Second)
+		log("a1")
+		p.Sleep(2 * time.Second) // wakes at 3s
+		log("a3")
+	})
+	c.Go("b", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		log("b2")
+		p.Sleep(2 * time.Second) // wakes at 4s
+		log("b4")
+	})
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b2", "a3", "b4"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestManyProcsAgreeOnFinalTime(t *testing.T) {
+	c := New()
+	const n = 200
+	var maxSeen int64
+	for i := 0; i < n; i++ {
+		d := time.Duration(i%17+1) * time.Millisecond
+		c.Go("p", func(p *Proc) {
+			for j := 0; j < 10; j++ {
+				p.Sleep(d)
+			}
+			now := int64(p.Now())
+			for {
+				old := atomic.LoadInt64(&maxSeen)
+				if now <= old || atomic.CompareAndSwapInt64(&maxSeen, old, now) {
+					break
+				}
+			}
+		})
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(10 * 17 * time.Millisecond)
+	if maxSeen != want {
+		t.Fatalf("max final time = %v, want %v", time.Duration(maxSeen), time.Duration(want))
+	}
+}
+
+func TestEventWakesWaiters(t *testing.T) {
+	c := New()
+	ev := NewEvent(c)
+	var woke [2]time.Duration
+	for i := 0; i < 2; i++ {
+		c.Go("w", func(p *Proc) {
+			ev.Wait(p)
+			woke[i] = p.Now()
+		})
+	}
+	c.Go("f", func(p *Proc) {
+		p.Sleep(7 * time.Second)
+		ev.Fire()
+	})
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range woke {
+		if w != 7*time.Second {
+			t.Errorf("waiter %d woke at %v, want 7s", i, w)
+		}
+	}
+}
+
+func TestEventWaitAfterFireReturnsImmediately(t *testing.T) {
+	c := New()
+	ev := NewEvent(c)
+	ev.Fire()
+	if !ev.Fired() {
+		t.Fatal("Fired() = false after Fire")
+	}
+	c.Go("w", func(p *Proc) {
+		ev.Wait(p)
+		if p.Now() != 0 {
+			t.Errorf("wait on fired event advanced time to %v", p.Now())
+		}
+	})
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventDoubleFireIsNoop(t *testing.T) {
+	c := New()
+	ev := NewEvent(c)
+	ev.Fire()
+	ev.Fire() // must not panic or double-wake
+	c.Go("w", func(p *Proc) { ev.Wait(p) })
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAfterFuncFiresAtScheduledTime(t *testing.T) {
+	c := New()
+	ev := NewEvent(c)
+	var fireAt time.Duration
+	c.AfterFunc(9*time.Second, func(now time.Duration) {
+		fireAt = now
+		ev.Fire()
+	})
+	var wokeAt time.Duration
+	c.Go("w", func(p *Proc) {
+		ev.Wait(p)
+		wokeAt = p.Now()
+	})
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if fireAt != 9*time.Second || wokeAt != 9*time.Second {
+		t.Fatalf("fireAt=%v wokeAt=%v, want 9s both", fireAt, wokeAt)
+	}
+}
+
+func TestTimerStopPreventsCallback(t *testing.T) {
+	c := New()
+	var fired atomic.Bool
+	tm := c.AfterFunc(time.Second, func(time.Duration) { fired.Store(true) })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true, want false")
+	}
+	c.Go("w", func(p *Proc) { p.Sleep(5 * time.Second) })
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if fired.Load() {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerReschedulePattern(t *testing.T) {
+	// The flow-server pattern: cancel and reschedule a completion timer on
+	// every arrival.
+	c := New()
+	ev := NewEvent(c)
+	var tm *Timer
+	tm = c.AfterFunc(10*time.Second, func(time.Duration) { t.Error("stale timer fired") })
+	c.Go("arrival", func(p *Proc) {
+		p.Sleep(1 * time.Second)
+		tm.Stop()
+		c.AfterFunc(2*time.Second, func(now time.Duration) {
+			if now != 3*time.Second {
+				t.Errorf("rescheduled timer at %v, want 3s", now)
+			}
+			ev.Fire()
+		})
+		ev.Wait(p)
+	})
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallbackMayScheduleMoreWork(t *testing.T) {
+	c := New()
+	done := NewEvent(c)
+	var hops int
+	var hop func(now time.Duration)
+	hop = func(now time.Duration) {
+		hops++
+		if hops == 5 {
+			done.Fire()
+			return
+		}
+		c.AfterFunc(time.Second, hop)
+	}
+	c.AfterFunc(time.Second, hop)
+	var end time.Duration
+	c.Go("w", func(p *Proc) {
+		done.Wait(p)
+		end = p.Now()
+	})
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if hops != 5 || end != 5*time.Second {
+		t.Fatalf("hops=%d end=%v, want 5 hops ending at 5s", hops, end)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	c := New()
+	ev := NewEvent(c) // never fired
+	c.Go("stuck", func(p *Proc) { ev.Wait(p) })
+	err := c.Wait()
+	if err == nil {
+		t.Fatal("Wait returned nil for deadlocked clock")
+	}
+}
+
+func TestGoFromWithinProc(t *testing.T) {
+	c := New()
+	var childTime time.Duration
+	c.Go("parent", func(p *Proc) {
+		p.Sleep(time.Second)
+		c.Go("child", func(q *Proc) {
+			q.Sleep(time.Second)
+			childTime = q.Now()
+		})
+		p.Sleep(5 * time.Second)
+	})
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if childTime != 2*time.Second {
+		t.Fatalf("child finished at %v, want 2s", childTime)
+	}
+}
+
+func TestWaitWithNoProcsReturns(t *testing.T) {
+	c := New()
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Now() != 0 {
+		t.Fatalf("Now = %v, want 0", c.Now())
+	}
+}
+
+func TestSameInstantOrderIsFIFO(t *testing.T) {
+	// Entries at the same timestamp wake in insertion order (seq
+	// tiebreak), giving deterministic runs.
+	c := New()
+	var mu sync.Mutex
+	var order []int
+	for i := 0; i < 8; i++ {
+		c.Go("p", func(p *Proc) {
+			p.Sleep(time.Second)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 8 {
+		t.Fatalf("len(order) = %d, want 8", len(order))
+	}
+	// All woke at the same instant; the wake channels are closed in seq
+	// order but goroutine scheduling may interleave bodies. We only check
+	// that every proc ran exactly once.
+	seen := map[int]bool{}
+	for _, v := range order {
+		if seen[v] {
+			t.Fatalf("proc %d ran twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func BenchmarkSleepWake(b *testing.B) {
+	c := New()
+	c.Go("bench", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	if err := c.Wait(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkManyProcsPingPong(b *testing.B) {
+	c := New()
+	const procs = 64
+	for i := 0; i < procs; i++ {
+		c.Go("p", func(p *Proc) {
+			for j := 0; j < b.N/procs; j++ {
+				p.Sleep(time.Microsecond)
+			}
+		})
+	}
+	if err := c.Wait(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func TestHoldSuppressesDeadlockDuringSpawn(t *testing.T) {
+	c := New()
+	release := c.Hold()
+	ev := NewEvent(c)
+	// The first proc blocks immediately; without the hold this would be
+	// declared a deadlock before the second proc exists.
+	c.Go("waiter", func(p *Proc) { ev.Wait(p) })
+	c.Go("firer", func(p *Proc) {
+		p.Sleep(time.Second)
+		ev.Fire()
+	})
+	release()
+	release() // idempotent
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHoldPinsTime(t *testing.T) {
+	c := New()
+	release := c.Hold()
+	c.Go("sleeper", func(p *Proc) { p.Sleep(time.Second) })
+	// Give the sleeper a chance to block; time must not advance while
+	// held.
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if c.Now() != 0 {
+			t.Fatal("time advanced under Hold")
+		}
+	}
+	release()
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Now() != time.Second {
+		t.Fatalf("final time %v", c.Now())
+	}
+}

@@ -1,0 +1,135 @@
+package vol
+
+import (
+	"asyncio/internal/hdf5"
+	"asyncio/internal/vclock"
+)
+
+// Native is the pass-through connector: every operation executes
+// synchronously on the calling process, exactly like stock HDF5 without
+// the async VOL loaded. It is stateless; the zero value is usable.
+type Native struct{}
+
+// Name implements Connector.
+func (Native) Name() string { return "native" }
+
+// Create implements Connector.
+func (Native) Create(pr Props, store hdf5.Store, opts ...hdf5.FileOption) (File, error) {
+	f, err := hdf5.Create(store, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return nativeFile{f: f}, nil
+}
+
+// Open implements Connector.
+func (Native) Open(pr Props, store hdf5.Store, opts ...hdf5.FileOption) (File, error) {
+	f, err := hdf5.Open(store, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return nativeFile{f: f}, nil
+}
+
+// Wrap implements Connector.
+func (Native) Wrap(f *hdf5.File) File { return nativeFile{f: f} }
+
+type nativeFile struct {
+	f *hdf5.File
+}
+
+func (nf nativeFile) Root() Group          { return nativeGroup{g: nf.f.Root()} }
+func (nf nativeFile) Flush(pr Props) error { return nf.f.Flush(pr.TP()) }
+func (nf nativeFile) Close(pr Props) error { return nf.f.Close(pr.TP()) }
+func (nf nativeFile) Unwrap() *hdf5.File   { return nf.f }
+
+type nativeGroup struct {
+	g *hdf5.Group
+}
+
+func (ng nativeGroup) CreateGroup(pr Props, name string) (Group, error) {
+	g, err := ng.g.CreateGroup(pr.TP(), name)
+	if err != nil {
+		return nil, err
+	}
+	return nativeGroup{g: g}, nil
+}
+
+func (ng nativeGroup) OpenGroup(pr Props, path string) (Group, error) {
+	g, err := ng.g.OpenGroup(pr.TP(), path)
+	if err != nil {
+		return nil, err
+	}
+	return nativeGroup{g: g}, nil
+}
+
+func (ng nativeGroup) CreateDataset(pr Props, name string, dtype hdf5.Datatype, space *hdf5.Dataspace, props *hdf5.CreateProps) (Dataset, error) {
+	d, err := ng.g.CreateDataset(pr.TP(), name, dtype, space, props)
+	if err != nil {
+		return nil, err
+	}
+	return nativeDataset{d: d}, nil
+}
+
+func (ng nativeGroup) OpenDataset(pr Props, path string) (Dataset, error) {
+	d, err := ng.g.OpenDataset(pr.TP(), path)
+	if err != nil {
+		return nil, err
+	}
+	return nativeDataset{d: d}, nil
+}
+
+func (ng nativeGroup) SetAttrInt64(pr Props, name string, v int64) error {
+	return ng.g.SetAttrInt64(pr.TP(), name, v)
+}
+
+func (ng nativeGroup) AttrInt64(pr Props, name string) (int64, error) {
+	return ng.g.AttrInt64(pr.TP(), name)
+}
+
+func (ng nativeGroup) SetAttrString(pr Props, name, v string) error {
+	return ng.g.SetAttrString(pr.TP(), name, v)
+}
+
+func (ng nativeGroup) AttrString(pr Props, name string) (string, error) {
+	return ng.g.AttrString(pr.TP(), name)
+}
+
+func (ng nativeGroup) List() []string { return ng.g.List() }
+
+type nativeDataset struct {
+	d *hdf5.Dataset
+}
+
+func (nd nativeDataset) Write(pr Props, fspace *hdf5.Dataspace, buf []byte) error {
+	return nd.d.Write(pr.TP(), fspace, buf)
+}
+
+func (nd nativeDataset) Read(pr Props, fspace *hdf5.Dataspace, buf []byte) error {
+	return nd.d.Read(pr.TP(), fspace, buf)
+}
+
+func (nd nativeDataset) WriteDiscard(pr Props, fspace *hdf5.Dataspace) error {
+	return nd.d.WriteNull(pr.TP(), fspace)
+}
+
+func (nd nativeDataset) ReadDiscard(pr Props, fspace *hdf5.Dataspace) error {
+	return nd.d.ReadNull(pr.TP(), fspace)
+}
+
+// Prefetch is a no-op for the synchronous connector.
+func (nd nativeDataset) Prefetch(Props, *hdf5.Dataspace) error { return nil }
+
+func (nd nativeDataset) Dims() []uint64        { return nd.d.Dims() }
+func (nd nativeDataset) Dtype() hdf5.Datatype  { return nd.d.Dtype() }
+func (nd nativeDataset) NBytes() int64         { return nd.d.NBytes() }
+func (nd nativeDataset) Unwrap() *hdf5.Dataset { return nd.d }
+
+// NullEventSet is the empty event set used with synchronous connectors.
+type NullEventSet struct{}
+
+// Wait implements EventSet.
+func (NullEventSet) Wait(*vclock.Proc) error { return nil }
+
+// Pending implements EventSet.
+func (NullEventSet) Pending() int { return 0 }

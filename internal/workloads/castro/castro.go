@@ -1,0 +1,169 @@
+// Package castro reproduces the I/O behaviour of Castro (§IV-C): a
+// compressible-astrophysics AMReX code. The paper runs it at 128³ with 6
+// components per multifab and 2 particles per cell; each checkpoint
+// writes the multifab plotfile plus the particle data. Rank scaling with
+// a fixed domain is strong scaling, giving the Fig. 4c/4d shapes.
+package castro
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"asyncio/internal/amrex"
+	"asyncio/internal/core"
+	"asyncio/internal/hdf5"
+	"asyncio/internal/model"
+	"asyncio/internal/systems"
+	"asyncio/internal/taskengine"
+	"asyncio/internal/trace"
+	"asyncio/internal/workloads/harness"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Dim is the cubic domain edge (paper: 128).
+	Dim int
+	// MaxGrid is the AMReX max_grid_size; 0 auto-sizes it so every rank
+	// owns at least one box (amrex.AutoMaxGrid).
+	MaxGrid int
+	// NComp is the multifab component count (paper: 6).
+	NComp int
+	// ParticlesPerCell (paper: 2); each particle carries 4 float64
+	// fields.
+	ParticlesPerCell int
+	// Checkpoints is the number of I/O epochs (default 5).
+	Checkpoints int
+	// ComputeTime is the computation phase per epoch (default 25 s).
+	ComputeTime time.Duration
+	Mode        core.Mode
+	Ranks       int
+	Materialize bool
+	Env         harness.Options
+	Estimator   *model.Estimator
+}
+
+const particleFields = 4 // position ×3 + mass, each float64
+
+// Run executes Castro's I/O skeleton on sys.
+func Run(sys *systems.System, cfg Config) (*core.Report, error) {
+	if cfg.Dim == 0 {
+		cfg.Dim = 128
+	}
+	if cfg.NComp == 0 {
+		cfg.NComp = 6
+	}
+	if cfg.ParticlesPerCell == 0 {
+		cfg.ParticlesPerCell = 2
+	}
+	if cfg.Checkpoints == 0 {
+		cfg.Checkpoints = 5
+	}
+	if cfg.ComputeTime == 0 {
+		cfg.ComputeTime = 25 * time.Second
+	}
+	cfg.Env.Materialize = cfg.Materialize
+	ranks := cfg.Ranks
+	if ranks == 0 {
+		ranks = sys.Size()
+	}
+	if cfg.MaxGrid == 0 {
+		cfg.MaxGrid = amrex.AutoMaxGrid(cfg.Dim, ranks)
+	}
+
+	raw, err := harness.CreateSharedFile(sys, cfg.Materialize)
+	if err != nil {
+		return nil, err
+	}
+	eng := taskengine.New(sys.Clk)
+	ba := amrex.ChopDomain(amrex.DomainBox(cfg.Dim), cfg.MaxGrid)
+	mf := amrex.NewMultiFab(ba, cfg.NComp, ranks)
+	totalParticles := uint64(amrex.DomainBox(cfg.Dim).NumCells()) * uint64(cfg.ParticlesPerCell)
+	envs := make([]*harness.Env, ranks)
+	var mu sync.Mutex
+
+	hooks := core.Hooks{
+		Init: func(ctx *core.RankCtx) error {
+			env := harness.NewEnv(ctx, eng, raw, cfg.Env)
+			mu.Lock()
+			envs[ctx.Rank] = env
+			mu.Unlock()
+			return nil
+		},
+		Compute: func(ctx *core.RankCtx, iter int) error {
+			ctx.P.Sleep(cfg.ComputeTime)
+			return nil
+		},
+		IO: func(ctx *core.RankCtx, iter int, mode trace.Mode) (int64, error) {
+			env := envs[ctx.Rank]
+			pr := env.Props(ctx.P, mode)
+			file := env.File(mode)
+			n, err := amrex.WritePlotfile(pr, file, iter, ctx.Rank, mf,
+				cfg.Materialize, ctx.Comm.Barrier)
+			if err != nil {
+				return 0, err
+			}
+			pn, err := writeParticles(ctx, env, mode, iter, totalParticles, cfg.Materialize)
+			if err != nil {
+				return 0, err
+			}
+			return n + pn, nil
+		},
+		Drain: func(ctx *core.RankCtx) error { return envs[ctx.Rank].Drain(ctx.P) },
+		Term:  func(ctx *core.RankCtx) error { return envs[ctx.Rank].Term(ctx.P) },
+	}
+	return core.Run(sys, core.Config{
+		Workload:   "castro",
+		Iterations: cfg.Checkpoints,
+		Mode:       cfg.Mode,
+		Ranks:      ranks,
+		Estimator:  cfg.Estimator,
+	}, hooks)
+}
+
+// writeParticles writes this rank's share of the checkpoint's particle
+// dataset: total particles × 4 float64 fields, block-distributed.
+func writeParticles(ctx *core.RankCtx, env *harness.Env, mode trace.Mode, step int, totalParticles uint64, materialize bool) (int64, error) {
+	c := ctx.Comm
+	pr := env.Props(ctx.P, mode)
+	file := env.File(mode)
+	name := fmt.Sprintf("particles%05d", step)
+	totalElems := totalParticles * particleFields
+	per := totalElems / uint64(c.Size())
+	if per == 0 {
+		per = 1
+	}
+	if c.Rank() == 0 {
+		if _, err := file.Root().CreateDataset(pr, name, hdf5.F64,
+			hdf5.MustSimple(totalElems), nil); err != nil {
+			return 0, err
+		}
+	}
+	c.Barrier()
+	ds, err := file.Root().OpenDataset(pr, name)
+	if err != nil {
+		return 0, err
+	}
+	// The last rank absorbs the remainder.
+	start := uint64(c.Rank()) * per
+	count := per
+	if c.Rank() == c.Size()-1 {
+		count = totalElems - start
+	}
+	if start >= totalElems {
+		return 0, nil
+	}
+	sel := hdf5.MustSimple(totalElems)
+	if err := sel.SelectHyperslab([]uint64{start}, nil, []uint64{1}, []uint64{count}); err != nil {
+		return 0, err
+	}
+	nbytes := int64(count) * 8
+	if materialize {
+		if err := ds.Write(pr, sel, make([]byte, nbytes)); err != nil {
+			return 0, err
+		}
+	} else if err := ds.WriteDiscard(pr, sel); err != nil {
+		return 0, err
+	}
+	return nbytes, nil
+}

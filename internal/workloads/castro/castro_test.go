@@ -1,0 +1,74 @@
+package castro
+
+import (
+	"testing"
+	"time"
+
+	"asyncio/internal/core"
+	"asyncio/internal/systems"
+	"asyncio/internal/vclock"
+)
+
+func TestCheckpointVolumeIncludesParticles(t *testing.T) {
+	clk := vclock.New()
+	sys := systems.Summit(clk, 1)
+	rep, err := Run(sys, Config{
+		Dim: 32, MaxGrid: 16, NComp: 6, ParticlesPerCell: 2,
+		Checkpoints: 2, ComputeTime: time.Second,
+		Mode: core.ForceSync,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := int64(32 * 32 * 32)
+	wantFab := cells * 6 * 8
+	wantParticles := cells * 2 * 4 * 8 // particles × fields × f64
+	if got := rep.Run.Records[0].Bytes; got != wantFab+wantParticles {
+		t.Fatalf("bytes = %d, want %d", got, wantFab+wantParticles)
+	}
+}
+
+func TestCoriSyncSaturatesAsyncScales(t *testing.T) {
+	run := func(nodes int, mode core.Mode) float64 {
+		clk := vclock.New()
+		sys := systems.CoriHaswell(clk, nodes)
+		rep, err := Run(sys, Config{
+			Checkpoints: 3, ComputeTime: 60 * time.Second, Mode: mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Run.PeakRate()
+	}
+	// Fig. 4d: on Cori, sync grows with ranks up to saturation; async
+	// shows linear node speedup.
+	sync2 := run(2, core.ForceSync)
+	sync8 := run(8, core.ForceSync)
+	async2 := run(2, core.ForceAsync)
+	async8 := run(8, core.ForceAsync)
+	if sync8 <= sync2 {
+		t.Fatalf("pre-saturation sync did not grow: %.3g -> %.3g", sync2, sync8)
+	}
+	if async8 < 3*async2 {
+		t.Fatalf("async speedup %.2f not near-linear", async8/async2)
+	}
+	if async8 <= sync8 {
+		t.Fatalf("async %.3g not above sync %.3g", async8, sync8)
+	}
+}
+
+func TestMaterializedAsyncRun(t *testing.T) {
+	clk := vclock.New()
+	sys := systems.CoriHaswell(clk, 1)
+	rep, err := Run(sys, Config{
+		Dim: 16, MaxGrid: 8, NComp: 2, ParticlesPerCell: 1,
+		Checkpoints: 2, ComputeTime: time.Second,
+		Mode: core.ForceAsync, Materialize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Run.Records) != 2 {
+		t.Fatalf("records = %d", len(rep.Run.Records))
+	}
+}

@@ -1,0 +1,151 @@
+// Package eqsim reproduces the I/O behaviour of EQSIM/SW4 (§IV-C): a
+// fourth-order seismic wave solver checkpointing its 3-D volume every
+// CheckpointEvery time steps. The physical domain (30000×30000×17000 m
+// at grid spacing 50 m → 600×600×340 grid points) is fixed as ranks
+// scale — strong scaling, so per-rank checkpoint data shrinks and
+// synchronous aggregate bandwidth decays while asynchronous staging
+// stays consistent (Fig. 6).
+package eqsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"asyncio/internal/core"
+	"asyncio/internal/hdf5"
+	"asyncio/internal/model"
+	"asyncio/internal/systems"
+	"asyncio/internal/taskengine"
+	"asyncio/internal/trace"
+	"asyncio/internal/workloads/harness"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Grid is the number of grid points per dimension (default the
+	// paper's h=50 discretization: 600×600×340).
+	Grid [3]int
+	// NComp is the number of wavefield components checkpointed
+	// (default 3: displacement vector).
+	NComp int
+	// Checkpoints is the number of I/O epochs (default 5).
+	Checkpoints int
+	// CheckpointEvery is the time steps between checkpoints (paper:
+	// 100); TimePerStep is the cost of one step (default 250 ms).
+	CheckpointEvery int
+	TimePerStep     time.Duration
+	Mode            core.Mode
+	Ranks           int
+	Materialize     bool
+	Env             harness.Options
+	Estimator       *model.Estimator
+}
+
+// Run executes the EQSIM checkpoint skeleton on sys.
+func Run(sys *systems.System, cfg Config) (*core.Report, error) {
+	if cfg.Grid == [3]int{} {
+		cfg.Grid = [3]int{600, 600, 340}
+	}
+	if cfg.NComp == 0 {
+		cfg.NComp = 3
+	}
+	if cfg.Checkpoints == 0 {
+		cfg.Checkpoints = 5
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 100
+	}
+	if cfg.TimePerStep == 0 {
+		cfg.TimePerStep = 250 * time.Millisecond
+	}
+	cfg.Env.Materialize = cfg.Materialize
+	ranks := cfg.Ranks
+	if ranks == 0 {
+		ranks = sys.Size()
+	}
+	totalElems := uint64(cfg.Grid[0]) * uint64(cfg.Grid[1]) * uint64(cfg.Grid[2]) * uint64(cfg.NComp)
+	if totalElems < uint64(ranks) {
+		return nil, fmt.Errorf("eqsim: grid %v too small for %d ranks", cfg.Grid, ranks)
+	}
+
+	raw, err := harness.CreateSharedFile(sys, cfg.Materialize)
+	if err != nil {
+		return nil, err
+	}
+	eng := taskengine.New(sys.Clk)
+	envs := make([]*harness.Env, ranks)
+	var mu sync.Mutex
+	compute := time.Duration(cfg.CheckpointEvery) * cfg.TimePerStep
+
+	hooks := core.Hooks{
+		Init: func(ctx *core.RankCtx) error {
+			env := harness.NewEnv(ctx, eng, raw, cfg.Env)
+			mu.Lock()
+			envs[ctx.Rank] = env
+			mu.Unlock()
+			return nil
+		},
+		Compute: func(ctx *core.RankCtx, iter int) error {
+			ctx.P.Sleep(compute)
+			return nil
+		},
+		IO: func(ctx *core.RankCtx, iter int, mode trace.Mode) (int64, error) {
+			return writeCheckpoint(ctx, envs[ctx.Rank], mode, iter, totalElems, cfg.Materialize)
+		},
+		Drain: func(ctx *core.RankCtx) error { return envs[ctx.Rank].Drain(ctx.P) },
+		Term:  func(ctx *core.RankCtx) error { return envs[ctx.Rank].Term(ctx.P) },
+	}
+	return core.Run(sys, core.Config{
+		Workload:   "eqsim",
+		Iterations: cfg.Checkpoints,
+		Mode:       cfg.Mode,
+		Ranks:      ranks,
+		Estimator:  cfg.Estimator,
+	}, hooks)
+}
+
+// writeCheckpoint writes this rank's slab of the full wavefield volume.
+func writeCheckpoint(ctx *core.RankCtx, env *harness.Env, mode trace.Mode, step int, totalElems uint64, materialize bool) (int64, error) {
+	c := ctx.Comm
+	pr := env.Props(ctx.P, mode)
+	file := env.File(mode)
+	name := fmt.Sprintf("checkpoint%05d", step)
+	if c.Rank() == 0 {
+		g, err := file.Root().CreateGroup(pr, name)
+		if err != nil {
+			return 0, err
+		}
+		if err := g.SetAttrInt64(pr, "cycle", int64(step)); err != nil {
+			return 0, err
+		}
+		if _, err := g.CreateDataset(pr, "wavefield", hdf5.F32,
+			hdf5.MustSimple(totalElems), nil); err != nil {
+			return 0, err
+		}
+	}
+	c.Barrier()
+	ds, err := file.Root().OpenDataset(pr, name+"/wavefield")
+	if err != nil {
+		return 0, err
+	}
+	per := totalElems / uint64(c.Size())
+	start := uint64(c.Rank()) * per
+	count := per
+	if c.Rank() == c.Size()-1 {
+		count = totalElems - start
+	}
+	sel := hdf5.MustSimple(totalElems)
+	if err := sel.SelectHyperslab([]uint64{start}, nil, []uint64{1}, []uint64{count}); err != nil {
+		return 0, err
+	}
+	nbytes := int64(count) * 4
+	if materialize {
+		if err := ds.Write(pr, sel, make([]byte, nbytes)); err != nil {
+			return 0, err
+		}
+	} else if err := ds.WriteDiscard(pr, sel); err != nil {
+		return 0, err
+	}
+	return nbytes, nil
+}

@@ -1,0 +1,79 @@
+package eqsim
+
+import (
+	"testing"
+	"time"
+
+	"asyncio/internal/core"
+	"asyncio/internal/systems"
+	"asyncio/internal/vclock"
+)
+
+func run(t *testing.T, nodes int, mode core.Mode, cfg Config) float64 {
+	t.Helper()
+	clk := vclock.New()
+	sys := systems.Summit(clk, nodes)
+	cfg.Mode = mode
+	rep, err := Run(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Run.PeakRate()
+}
+
+func TestStrongScalingShapes(t *testing.T) {
+	cfg := Config{Checkpoints: 3, CheckpointEvery: 100, TimePerStep: 250 * time.Millisecond}
+	// Fig. 6: past the backend knee, sync decays as per-rank slabs
+	// shrink; async stays consistent (grows with node count).
+	sync128 := run(t, 128, core.ForceSync, cfg)
+	sync1024 := run(t, 1024, core.ForceSync, cfg)
+	async128 := run(t, 128, core.ForceAsync, cfg)
+	async1024 := run(t, 1024, core.ForceAsync, cfg)
+	if sync1024 >= sync128 {
+		t.Fatalf("sync did not decay under strong scaling: %.3g -> %.3g", sync128, sync1024)
+	}
+	if async1024 <= async128 {
+		t.Fatalf("async did not keep scaling: %.3g -> %.3g", async128, async1024)
+	}
+	if async1024 <= sync1024 {
+		t.Fatalf("async %.3g not above sync %.3g at 1024 nodes", async1024, sync1024)
+	}
+}
+
+func TestCheckpointBytesMatchGrid(t *testing.T) {
+	clk := vclock.New()
+	sys := systems.Summit(clk, 1)
+	rep, err := Run(sys, Config{
+		Grid: [3]int{60, 60, 34}, NComp: 3,
+		Checkpoints: 1, CheckpointEvery: 2, TimePerStep: 100 * time.Millisecond,
+		Mode: core.ForceSync,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(60*60*34) * 3 * 4
+	if got := rep.Run.Records[0].Bytes; got != want {
+		t.Fatalf("bytes = %d, want %d", got, want)
+	}
+}
+
+func TestTooManyRanksRejected(t *testing.T) {
+	clk := vclock.New()
+	sys := systems.Summit(clk, 1)
+	_, err := Run(sys, Config{Grid: [3]int{1, 1, 2}, NComp: 1, Checkpoints: 1})
+	if err == nil {
+		t.Fatal("tiny grid with 6 ranks accepted")
+	}
+}
+
+func TestSSDStagingRun(t *testing.T) {
+	// The paper notes node-local SSD as an alternative buffer location.
+	cfg := Config{Checkpoints: 2, CheckpointEvery: 10, TimePerStep: 100 * time.Millisecond}
+	cfg.Env.SSD = true
+	dram := run(t, 2, core.ForceAsync, Config{Checkpoints: 2, CheckpointEvery: 10, TimePerStep: 100 * time.Millisecond})
+	ssd := run(t, 2, core.ForceAsync, cfg)
+	// SSD staging is slower than DRAM staging but still a valid path.
+	if ssd >= dram {
+		t.Fatalf("ssd staging rate %.3g not below dram %.3g", ssd, dram)
+	}
+}

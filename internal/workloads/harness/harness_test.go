@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"testing"
+
+	"asyncio/internal/core"
+	"asyncio/internal/hdf5"
+	"asyncio/internal/systems"
+	"asyncio/internal/taskengine"
+	"asyncio/internal/trace"
+	"asyncio/internal/vclock"
+)
+
+func TestNewStoreSelection(t *testing.T) {
+	if _, ok := NewStore(true).(*hdf5.MemStore); !ok {
+		t.Fatal("materialized store is not a MemStore")
+	}
+	if _, ok := NewStore(false).(*hdf5.NullStore); !ok {
+		t.Fatal("timing store is not a NullStore")
+	}
+}
+
+func TestSlab1D(t *testing.T) {
+	sp, err := Slab1D(100, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.SelectionCount() != 10 {
+		t.Fatalf("count = %d", sp.SelectionCount())
+	}
+	var off uint64
+	if err := sp.EachRun(func(o, n uint64) error { off = o; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if off != 30 {
+		t.Fatalf("offset = %d, want 30", off)
+	}
+	if _, err := Slab1D(100, 30, 3); err == nil {
+		t.Fatal("out-of-range slab accepted")
+	}
+}
+
+func TestBufferPool(t *testing.T) {
+	pool := NewBufferPool(64)
+	shared := pool.Get(64, false)
+	if len(shared) != 64 {
+		t.Fatalf("len = %d", len(shared))
+	}
+	if &pool.Get(32, false)[0] != &shared[0] {
+		t.Fatal("timing-mode buffers must share backing storage")
+	}
+	m1 := pool.Get(32, true)
+	m2 := pool.Get(32, true)
+	if &m1[0] == &m2[0] {
+		t.Fatal("materialized buffers must be distinct")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized request did not panic")
+		}
+	}()
+	pool.Get(65, false)
+}
+
+func TestEnvModeSwitching(t *testing.T) {
+	clk := vclock.New()
+	sys := systems.Summit(clk, 1)
+	eng := taskengine.New(clk)
+	raw, err := CreateSharedFile(sys, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	clk.Go("rank", func(p *vclock.Proc) {
+		defer close(done)
+		ctx := &core.RankCtx{P: p, Sys: sys, Rank: 0}
+		env := NewEnv(ctx, eng, raw, Options{Materialize: true})
+		if env.File(trace.Sync) == env.File(trace.Async) {
+			t.Error("modes must map to distinct connector wrappers")
+		}
+		if env.Props(p, trace.Async).Set == nil {
+			t.Error("async props must carry the event set")
+		}
+		if env.Props(p, trace.Sync).Set != nil {
+			t.Error("sync props must not carry an event set")
+		}
+		// Write through async, drain, read back through sync.
+		pr := env.Props(p, trace.Async)
+		ds, err := env.File(trace.Async).Root().CreateDataset(pr, "d", hdf5.U8, hdf5.MustSimple(8), nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := ds.Write(pr, nil, []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+			t.Error(err)
+		}
+		if err := env.Drain(p); err != nil {
+			t.Error(err)
+		}
+		sds, err := env.File(trace.Sync).Root().OpenDataset(env.Props(p, trace.Sync), "d")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out := make([]byte, 8)
+		if err := sds.Read(env.Props(p, trace.Sync), nil, out); err != nil {
+			t.Error(err)
+		}
+		if out[7] != 8 {
+			t.Errorf("readback = %v", out)
+		}
+		if err := env.Term(p); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+func TestEnvStagingOptions(t *testing.T) {
+	clk := vclock.New()
+	sys := systems.Summit(clk, 1)
+	eng := taskengine.New(clk)
+	raw, err := CreateSharedFile(sys, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each option combination must construct without panicking and give
+	// a usable env.
+	for _, opts := range []Options{
+		{},
+		{GPU: true},
+		{GPU: true, Pinned: true},
+		{SSD: true},
+		{ZeroCopy: true},
+	} {
+		ctx := &core.RankCtx{Sys: sys, Rank: 0}
+		env := NewEnv(ctx, eng, raw, opts)
+		if env.Conn == nil || env.AsyncFile == nil || env.SyncFile == nil {
+			t.Fatalf("env incomplete for %+v", opts)
+		}
+		env.Conn.Shutdown()
+	}
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

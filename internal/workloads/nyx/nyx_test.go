@@ -1,0 +1,104 @@
+package nyx
+
+import (
+	"testing"
+	"time"
+
+	"asyncio/internal/core"
+	"asyncio/internal/systems"
+	"asyncio/internal/vclock"
+)
+
+func peakRate(t *testing.T, nodes int, mode core.Mode, cfg Config) float64 {
+	t.Helper()
+	clk := vclock.New()
+	sys := systems.Summit(clk, nodes)
+	cfg.Mode = mode
+	rep, err := Run(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Run.PeakRate()
+}
+
+func TestStrongScalingSyncStallsAsyncGrows(t *testing.T) {
+	// Fig. 4a regime (large configuration, Summit): past the backend
+	// knee the synchronous rate stalls while asynchronous staging keeps
+	// scaling with node count.
+	cfg := LargeConfig()
+	cfg.Plotfiles = 2
+	cfg.TimePerStep = 2 * time.Second
+	syncSmall := peakRate(t, 32, core.ForceSync, cfg)
+	syncBig := peakRate(t, 256, core.ForceSync, cfg)
+	asyncSmall := peakRate(t, 32, core.ForceAsync, cfg)
+	asyncBig := peakRate(t, 256, core.ForceAsync, cfg)
+	if asyncBig < 4*asyncSmall {
+		t.Fatalf("async did not scale: %.3g -> %.3g", asyncSmall, asyncBig)
+	}
+	if asyncBig <= syncBig {
+		t.Fatalf("async %.3g not above sync %.3g at 256 nodes", asyncBig, syncBig)
+	}
+	growth := syncBig / syncSmall
+	asyncGrowth := asyncBig / asyncSmall
+	if growth > 0.7*asyncGrowth {
+		t.Fatalf("sync growth %.2f not clearly below async growth %.2f", growth, asyncGrowth)
+	}
+}
+
+func TestSyncDecaysPastKnee(t *testing.T) {
+	// Beyond the Summit saturation knee (128 nodes), shrinking per-rank
+	// requests drag the synchronous aggregate bandwidth down slightly —
+	// "the aggregate bandwidth of synchronous I/O decreases" (§V-A3).
+	cfg := LargeConfig()
+	cfg.Plotfiles = 2
+	cfg.TimePerStep = 2 * time.Second
+	atKnee := peakRate(t, 128, core.ForceSync, cfg)
+	past := peakRate(t, 1024, core.ForceSync, cfg)
+	if past >= atKnee {
+		t.Fatalf("sync did not decay past the knee: %.4g -> %.4g", atKnee, past)
+	}
+}
+
+func TestMaterializedRunCompletes(t *testing.T) {
+	clk := vclock.New()
+	sys := systems.Summit(clk, 1)
+	rep, err := Run(sys, Config{
+		Dim: 32, MaxGrid: 16, NComp: 2, Plotfiles: 2,
+		StepsPerPlot: 2, TimePerStep: 100 * time.Millisecond,
+		Mode: core.ForceAsync, Materialize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Run.Records) != 2 {
+		t.Fatalf("records = %d", len(rep.Run.Records))
+	}
+	// 32³ cells × 2 comps × 8 B per plotfile.
+	want := int64(32*32*32) * 2 * 8
+	if rep.Run.Records[0].Bytes != want {
+		t.Fatalf("bytes = %d, want %d", rep.Run.Records[0].Bytes, want)
+	}
+}
+
+func TestGPUStagingCostsMoreThanCPU(t *testing.T) {
+	cfg := Config{Dim: 256, MaxGrid: 32, NComp: 4, Plotfiles: 3, StepsPerPlot: 10, TimePerStep: time.Second}
+	cpu := peakRate(t, 2, core.ForceAsync, cfg)
+	cfgGPU := cfg
+	cfgGPU.Env.GPU = true
+	gpu := peakRate(t, 2, core.ForceAsync, cfgGPU)
+	// GPU staging adds the link transfer before the host copy, so the
+	// observed async rate must be lower.
+	if gpu >= cpu {
+		t.Fatalf("gpu staging rate %.3g not below cpu %.3g", gpu, cpu)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	small, large := SmallConfig(), LargeConfig()
+	if small.Dim != 256 || small.StepsPerPlot != 20 {
+		t.Fatalf("small = %+v", small)
+	}
+	if large.Dim != 2048 || large.StepsPerPlot != 50 {
+		t.Fatalf("large = %+v", large)
+	}
+}

@@ -1,0 +1,192 @@
+// Package vpicio reproduces the VPIC-IO kernel (§IV-B): the I/O skeleton
+// of the Vector Particle-In-Cell plasma-physics code. Each checkpoint
+// writes eight float32 particle properties to 1-D datasets; every rank
+// contributes 8×1024×1024 particles (≈32 MB per property), so the data
+// volume weak-scales with the rank count. Computation between
+// checkpoints is a configurable sleep (the paper uses 30 s).
+package vpicio
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"asyncio/internal/core"
+	"asyncio/internal/hdf5"
+	"asyncio/internal/model"
+	"asyncio/internal/systems"
+	"asyncio/internal/taskengine"
+	"asyncio/internal/trace"
+	"asyncio/internal/workloads/harness"
+)
+
+// Properties written per particle, as in the original kernel.
+var Properties = []string{"x", "y", "z", "i", "ux", "uy", "uz", "ke"}
+
+// Config parameterizes a run.
+type Config struct {
+	// Steps is the number of checkpoint epochs.
+	Steps int
+	// ParticlesPerRank defaults to 8×1024×1024 (≈32 MB per property).
+	ParticlesPerRank uint64
+	// ComputeTime is the simulated computation per epoch (default 30 s).
+	ComputeTime time.Duration
+	// Mode is the run policy.
+	Mode core.Mode
+	// Ranks defaults to the full allocation.
+	Ranks int
+	// Materialize enables real buffers (small correctness runs only).
+	Materialize bool
+	// Env tweaks the async connector (GPU/SSD staging, zero-copy).
+	Env harness.Options
+	// Estimator optionally carries model history across runs.
+	Estimator *model.Estimator
+	// Target overrides the storage tier the checkpoint file lives on
+	// (default: the system's parallel file system). Use e.g.
+	// sys.BurstBuffer to evaluate the burst-buffer tier.
+	Target hdf5.Driver
+}
+
+// Run executes the kernel on sys and returns the run report plus the
+// shared file (for readers such as BD-CATS-IO).
+func Run(sys *systems.System, cfg Config) (*core.Report, *hdf5.File, error) {
+	if cfg.Steps <= 0 {
+		cfg.Steps = 5
+	}
+	if cfg.ParticlesPerRank == 0 {
+		cfg.ParticlesPerRank = 8 << 20
+	}
+	if cfg.ComputeTime == 0 {
+		cfg.ComputeTime = 30 * time.Second
+	}
+	cfg.Env.Materialize = cfg.Materialize
+
+	target := hdf5.Driver(sys.PFS)
+	if cfg.Target != nil {
+		target = cfg.Target
+	}
+	raw, err := harness.CreateSharedFileOn(target, cfg.Materialize)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng := taskengine.New(sys.Clk)
+	ranks := cfg.Ranks
+	if ranks == 0 {
+		ranks = sys.Size()
+	}
+	perPropBytes := int64(cfg.ParticlesPerRank) * 4
+	pool := harness.NewBufferPool(perPropBytes)
+
+	envs := make([]*harness.Env, ranks)
+	var mu sync.Mutex
+
+	hooks := core.Hooks{
+		Init: func(ctx *core.RankCtx) error {
+			env := harness.NewEnv(ctx, eng, raw, cfg.Env)
+			mu.Lock()
+			envs[ctx.Rank] = env
+			mu.Unlock()
+			return nil
+		},
+		Compute: func(ctx *core.RankCtx, iter int) error {
+			ctx.P.Sleep(cfg.ComputeTime)
+			return nil
+		},
+		IO: func(ctx *core.RankCtx, iter int, mode trace.Mode) (int64, error) {
+			env := envs[ctx.Rank]
+			return writeStep(ctx, env, pool, cfg, iter, mode)
+		},
+		Drain: func(ctx *core.RankCtx) error { return envs[ctx.Rank].Drain(ctx.P) },
+		Term:  func(ctx *core.RankCtx) error { return envs[ctx.Rank].Term(ctx.P) },
+	}
+	rep, err := core.Run(sys, core.Config{
+		Workload:   "vpic-io",
+		Iterations: cfg.Steps,
+		Mode:       cfg.Mode,
+		Ranks:      ranks,
+		Estimator:  cfg.Estimator,
+	}, hooks)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, raw, nil
+}
+
+// StepGroup names the checkpoint group for a time step, matching the
+// kernel's "Step#N" convention.
+func StepGroup(step int) string { return fmt.Sprintf("Step#%d", step) }
+
+// writeStep runs one rank's share of a checkpoint: rank 0 creates the
+// step group and the eight property datasets, then every rank writes its
+// particle slab to each.
+func writeStep(ctx *core.RankCtx, env *harness.Env, pool *harness.BufferPool, cfg Config, step int, mode trace.Mode) (int64, error) {
+	c := ctx.Comm
+	pr := env.Props(ctx.P, mode)
+	file := env.File(mode)
+	total := cfg.ParticlesPerRank * uint64(c.Size())
+
+	if c.Rank() == 0 {
+		// Metadata is collective in spirit: rank 0 creates, everyone
+		// else opens after the barrier.
+		g, err := file.Root().CreateGroup(pr, StepGroup(step))
+		if err != nil {
+			return 0, err
+		}
+		if err := g.SetAttrInt64(pr, "timestep", int64(step)); err != nil {
+			return 0, err
+		}
+		space := hdf5.MustSimple(total)
+		for _, prop := range Properties {
+			if _, err := g.CreateDataset(pr, prop, hdf5.F32, space, nil); err != nil {
+				return 0, err
+			}
+		}
+	}
+	c.Barrier()
+
+	g, err := file.Root().OpenGroup(pr, StepGroup(step))
+	if err != nil {
+		return 0, err
+	}
+	slab, err := harness.Slab1D(total, cfg.ParticlesPerRank, c.Rank())
+	if err != nil {
+		return 0, err
+	}
+	perPropBytes := int64(cfg.ParticlesPerRank) * 4
+	var written int64
+	for pi, prop := range Properties {
+		ds, err := g.OpenDataset(pr, prop)
+		if err != nil {
+			return 0, err
+		}
+		if cfg.Materialize {
+			buf := pool.Get(perPropBytes, true)
+			fillParticles(buf, ctx.Rank, step, pi)
+			if err := ds.Write(pr, slab, buf); err != nil {
+				return 0, err
+			}
+		} else if err := ds.WriteDiscard(pr, slab); err != nil {
+			return 0, err
+		}
+		written += perPropBytes
+	}
+	return written, nil
+}
+
+// fillParticles writes a deterministic pattern so correctness tests can
+// verify placement: each float32 is bits(rank<<20 | step<<16 | prop<<12 | i&0xfff).
+func fillParticles(buf []byte, rank, step, prop int) {
+	for i := 0; i+4 <= len(buf); i += 4 {
+		v := uint32(rank)<<20 | uint32(step)<<16 | uint32(prop)<<12 | uint32(i/4)&0xfff
+		buf[i] = byte(v)
+		buf[i+1] = byte(v >> 8)
+		buf[i+2] = byte(v >> 16)
+		buf[i+3] = byte(v >> 24)
+	}
+}
+
+// ExpectedValue returns the pattern value fillParticles wrote at element
+// i of the given (rank, step, prop).
+func ExpectedValue(rank, step, prop, i int) uint32 {
+	return uint32(rank)<<20 | uint32(step)<<16 | uint32(prop)<<12 | uint32(i)&0xfff
+}
