@@ -36,6 +36,7 @@ import (
 	"asyncio/internal/core"
 	"asyncio/internal/experiments"
 	"asyncio/internal/hdf5"
+	"asyncio/internal/ioreq"
 	"asyncio/internal/model"
 	"asyncio/internal/systems"
 	"asyncio/internal/taskengine"
@@ -144,6 +145,38 @@ type (
 	EventSet = asyncvol.EventSet
 	// TaskEngine is the Argobots-analog background tasking engine.
 	TaskEngine = taskengine.Engine
+)
+
+// I/O request pipeline: every dataset data operation is one IORequest
+// executed by an IOPipeline of IOStages (validate → resolve → optional
+// aggregation → execute). Both connectors route through it.
+type (
+	// IORequest is one dataset read/write descriptor.
+	IORequest = ioreq.Request
+	// IOPipeline executes IORequests through its stages.
+	IOPipeline = ioreq.Pipeline
+	// IOStage is one pipeline stage.
+	IOStage = ioreq.Stage
+	// AggConfig enables and bounds the write-aggregation stage.
+	AggConfig = ioreq.AggConfig
+	// AggStage coalesces adjacent same-dataset writes (two-phase
+	// collective buffering).
+	AggStage = ioreq.AggStage
+	// Span is a hierarchical trace of an operation's path through the
+	// stack (pipeline stages, staging copies, PFS transfers).
+	Span = trace.Span
+	// SpanEvent is one recorded event on a Span.
+	SpanEvent = trace.SpanEvent
+)
+
+// Pipeline constructors.
+var (
+	// NewIOPipeline builds validate → resolve → extra stages → execute.
+	NewIOPipeline = ioreq.New
+	// NewAggStage returns a write-aggregation stage.
+	NewAggStage = ioreq.NewAgg
+	// NewSpan returns an empty root span.
+	NewSpan = trace.NewSpan
 )
 
 // NewTaskEngine returns a tasking engine on clk.

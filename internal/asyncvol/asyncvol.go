@@ -4,21 +4,31 @@
 //
 // One Connector is created per simulated MPI process and owns one
 // background execution stream (vol-async spawns one Argobots background
-// thread per process). Dataset writes stage the application buffer into
-// a private copy — the transactional overhead of the paper's Eq. 2b —
-// then enqueue the real write on the background stream and return.
+// thread per process). Every data operation is constructed as an
+// ioreq.Request and flows through two pipelines:
+//
+//   - the inline pipeline runs on the caller: the transactional staging
+//     copy (the overhead of the paper's Eq. 2b) is a stage, optionally
+//     followed by a write-aggregation stage, terminating at the op
+//     queue — each request becomes one background task;
+//   - the background pipeline (validate → resolve → execute) runs on
+//     the background stream and performs the real transfer, charging
+//     the file's driver.
+//
 // Reads can be prefetched: a background task stages the selection, and a
 // later matching Read costs only the staging-buffer copy. Completion is
-// tracked with EventSets (the H5ES analog); File.Close drains the
-// stream's pending work first.
+// tracked with EventSets (the H5ES analog); File.Close flushes the
+// inline pipeline and drains the stream's pending work first.
 package asyncvol
 
 import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"asyncio/internal/hdf5"
+	"asyncio/internal/ioreq"
 	"asyncio/internal/taskengine"
 	"asyncio/internal/vclock"
 	"asyncio/internal/vol"
@@ -55,6 +65,13 @@ type Options struct {
 	// real systems (vol-async's task-queue limit). Zero means
 	// unbounded.
 	MaxPending int
+	// Aggregate enables the write-aggregation stage between staging and
+	// the op queue: adjacent staged writes to the same dataset coalesce
+	// into one background dispatch (two-phase-style collective
+	// buffering). The zero value leaves aggregation off. A buffered
+	// write's completion is observable only after its chain flushes —
+	// window trigger, Drain, Flush, or Close.
+	Aggregate ioreq.AggConfig
 }
 
 // Connector is the asynchronous connector for one simulated process.
@@ -63,6 +80,13 @@ type Connector struct {
 	eng    *taskengine.Engine
 	stream *taskengine.Stream
 	opts   Options
+
+	// inline runs on the caller: staging (+optional aggregation) →
+	// enqueue. exec runs the real transfer; background tasks and
+	// synchronous read fallbacks both use it.
+	inline *ioreq.Pipeline
+	exec   *ioreq.Pipeline
+	agg    *ioreq.AggStage
 
 	mu       sync.Mutex
 	last     *taskengine.Task
@@ -89,18 +113,41 @@ func New(eng *taskengine.Engine, name string, opts Options) *Connector {
 		cache: make(map[cacheKey]*cacheEntry),
 	}
 	c.stream = eng.NewStream("asyncvol:" + name)
+	stages := []ioreq.Stage{stagingStage{c: c}}
+	if opts.Aggregate.Enabled() {
+		c.agg = ioreq.NewAgg(opts.Aggregate)
+		stages = append(stages, c.agg)
+	}
+	c.inline = ioreq.NewCustom(c.enqueue, stages...)
+	c.exec = ioreq.New()
 	return c
 }
 
 // Name implements vol.Connector.
 func (c *Connector) Name() string { return "async:" + c.name }
 
+// AggStats returns the aggregation stage's counters (zero stats when
+// aggregation is off).
+func (c *Connector) AggStats() ioreq.AggStats {
+	if c.agg == nil {
+		return ioreq.AggStats{}
+	}
+	return c.agg.Stats()
+}
+
 // Shutdown stops the background stream after draining queued work. The
-// connector is unusable afterwards.
+// connector is unusable afterwards. Writes still buffered in an
+// aggregation chain are NOT dispatched — call Drain (or close the file)
+// first, as harness.Env.Term does.
 func (c *Connector) Shutdown() { c.stream.Shutdown() }
 
-// Drain blocks p until every operation pushed so far has completed.
+// Drain flushes the inline pipeline (dispatching any aggregation
+// chains), then blocks p until every operation pushed so far has
+// completed.
 func (c *Connector) Drain(p *vclock.Proc) error {
+	if err := c.inline.Flush(p); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	last := c.last
 	c.mu.Unlock()
@@ -110,10 +157,135 @@ func (c *Connector) Drain(p *vclock.Proc) error {
 	return last.Wait(p)
 }
 
+// stagingStage is the transactional double-buffer copy as a pipeline
+// stage: it snapshots the caller's buffer (when materializing) and
+// charges the copy model on the calling process, then passes the
+// request on. This is the only stage that runs before the request
+// leaves the caller, so its charge is the entire blocking cost of an
+// asynchronous write.
+type stagingStage struct {
+	c *Connector
+}
+
+func (stagingStage) Name() string { return "stage-copy" }
+
+func (s stagingStage) Process(req *ioreq.Request, next func(*ioreq.Request) error) error {
+	c := s.c
+	n := req.Bytes()
+	if req.Buf != nil && c.opts.Materialize {
+		req.Buf = append([]byte(nil), req.Buf...)
+	}
+	if c.opts.Copy != nil {
+		c.opts.Copy.Copy(req.Proc, n)
+	}
+	req.Span.Event("asyncvol:stage", n, procNow(req.Proc))
+	return next(req)
+}
+
+func (stagingStage) Flush(*vclock.Proc, func(*ioreq.Request) error) error { return nil }
+
+// enqueue is the inline pipeline's terminal: one request becomes one
+// background task running the exec pipeline. The task is added to the
+// event set the request carries in Tag — and, for a merged request, to
+// every absorbed source's event set, so each contributor's ES.Wait
+// observes the coalesced dispatch.
+func (c *Connector) enqueue(req *ioreq.Request) error {
+	sets, err := eventSets(req)
+	if err != nil {
+		return err
+	}
+	t := c.push(req.Proc, taskName(req.Op), func(p *vclock.Proc) error {
+		// Charge the transfer to the background stream's process: the
+		// overlap with application compute the paper measures.
+		req.Proc = p
+		return c.exec.Do(req)
+	})
+	for _, es := range sets {
+		es.add(t)
+	}
+	return nil
+}
+
+// taskName labels background tasks after the HDF5 call they execute.
+func taskName(op ioreq.Op) string {
+	switch op {
+	case ioreq.OpWrite:
+		return "H5Dwrite:async"
+	case ioreq.OpWriteNull:
+		return "H5Dwrite:async-discard"
+	case ioreq.OpRead:
+		return "H5Dread:async"
+	default:
+		return "H5Dread:async-discard"
+	}
+}
+
+// eventSets collects the event sets of a request and its aggregation
+// sources, deduplicated. A tag of the wrong concrete type is a caller
+// error reported as such — a connector mix-up is recoverable (use the
+// right connector's set), so it is not a panic.
+func eventSets(req *ioreq.Request) ([]*EventSet, error) {
+	var out []*EventSet
+	seen := make(map[*EventSet]bool, 1)
+	add := func(tag any) error {
+		if tag == nil {
+			return nil
+		}
+		es, err := eventSetOf(tag)
+		if err != nil {
+			return err
+		}
+		if es != nil && !seen[es] {
+			seen[es] = true
+			out = append(out, es)
+		}
+		return nil
+	}
+	if err := add(req.Tag); err != nil {
+		return nil, err
+	}
+	for _, src := range req.Sources {
+		if err := add(src.Tag); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// eventSetOf checks that a caller-supplied event set belongs to this
+// connector type. nil (no tracking) is allowed.
+func eventSetOf(set any) (*EventSet, error) {
+	if set == nil {
+		return nil, nil
+	}
+	es, ok := set.(*EventSet)
+	if !ok {
+		return nil, fmt.Errorf("asyncvol: event set %T is not *asyncvol.EventSet", set)
+	}
+	return es, nil
+}
+
+// setTag converts a vol.EventSet to a request tag, keeping nil
+// interfaces as untagged.
+func setTag(set vol.EventSet) any {
+	if set == nil {
+		return nil
+	}
+	return set
+}
+
+// procNow returns p's virtual time, tolerating nil.
+func procNow(p *vclock.Proc) time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.Now()
+}
+
 // push enqueues a background task and records it as the newest. When
 // MaxPending is set and p is non-nil, the caller blocks until the queue
 // has room (backpressure).
-func (c *Connector) push(p *vclock.Proc, name string, fn func(p *vclock.Proc) error, set vol.EventSet) *taskengine.Task {
+func (c *Connector) push(p *vclock.Proc, name string, fn func(p *vclock.Proc) error) *taskengine.Task {
 	if c.opts.MaxPending > 0 && p != nil {
 		c.waitForRoom(p)
 	}
@@ -125,13 +297,6 @@ func (c *Connector) push(p *vclock.Proc, name string, fn func(p *vclock.Proc) er
 	// count toward the bound; deferred metadata tasks hold nothing.
 	if c.opts.MaxPending > 0 && p != nil {
 		c.inflight = append(c.inflight, t)
-	}
-	if set != nil {
-		es, ok := set.(*EventSet)
-		if !ok {
-			panic(fmt.Sprintf("asyncvol: event set %T is not *asyncvol.EventSet", set))
-		}
-		es.add(t)
 	}
 	return t
 }
@@ -205,7 +370,8 @@ func (af *asyncFile) Root() vol.Group {
 	return &asyncGroup{c: af.c, raw: af.f, g: af.native.Root()}
 }
 
-// Flush drains pending asynchronous work, then flushes metadata.
+// Flush drains pending asynchronous work (flushing aggregation chains
+// first), then flushes metadata.
 func (af *asyncFile) Flush(pr vol.Props) error {
 	if err := af.c.Drain(pr.Proc); err != nil {
 		return err
@@ -238,14 +404,22 @@ type asyncGroup struct {
 
 // deferMeta performs the op's structural work uncharged and pushes its
 // n-round-trip cost onto the background stream.
-func (ag *asyncGroup) deferMeta(pr vol.Props, n int) {
+func (ag *asyncGroup) deferMeta(pr vol.Props, n int) error {
+	es, err := eventSetOf(setTag(pr.Set))
+	if err != nil {
+		return err
+	}
 	raw := ag.raw
 	// Metadata tasks are tiny and exempt from backpressure (no staging
 	// buffer is held).
-	ag.c.push(nil, "H5meta:async", func(p *vclock.Proc) error {
+	t := ag.c.push(nil, "H5meta:async", func(p *vclock.Proc) error {
 		raw.ChargeMetaOps(&hdf5.TransferProps{Proc: p}, n)
 		return nil
-	}, pr.Set)
+	})
+	if es != nil {
+		es.add(t)
+	}
+	return nil
 }
 
 // uncharged strips the acting process so the native call costs nothing.
@@ -270,7 +444,9 @@ func (ag *asyncGroup) CreateGroup(pr vol.Props, name string) (vol.Group, error) 
 	if err != nil {
 		return nil, err
 	}
-	ag.deferMeta(pr, 1)
+	if err := ag.deferMeta(pr, 1); err != nil {
+		return nil, err
+	}
 	return &asyncGroup{c: ag.c, raw: ag.raw, g: g}, nil
 }
 
@@ -279,7 +455,9 @@ func (ag *asyncGroup) OpenGroup(pr vol.Props, path string) (vol.Group, error) {
 	if err != nil {
 		return nil, err
 	}
-	ag.deferMeta(pr, pathOps(path))
+	if err := ag.deferMeta(pr, pathOps(path)); err != nil {
+		return nil, err
+	}
 	return &asyncGroup{c: ag.c, raw: ag.raw, g: g}, nil
 }
 
@@ -288,8 +466,10 @@ func (ag *asyncGroup) CreateDataset(pr vol.Props, name string, dtype hdf5.Dataty
 	if err != nil {
 		return nil, err
 	}
-	ag.deferMeta(pr, 1)
-	return &asyncDataset{c: ag.c, d: d}, nil
+	if err := ag.deferMeta(pr, 1); err != nil {
+		return nil, err
+	}
+	return &asyncDataset{c: ag.c, d: d, raw: d.Unwrap()}, nil
 }
 
 func (ag *asyncGroup) OpenDataset(pr vol.Props, path string) (vol.Dataset, error) {
@@ -297,16 +477,17 @@ func (ag *asyncGroup) OpenDataset(pr vol.Props, path string) (vol.Dataset, error
 	if err != nil {
 		return nil, err
 	}
-	ag.deferMeta(pr, pathOps(path))
-	return &asyncDataset{c: ag.c, d: d}, nil
+	if err := ag.deferMeta(pr, pathOps(path)); err != nil {
+		return nil, err
+	}
+	return &asyncDataset{c: ag.c, d: d, raw: d.Unwrap()}, nil
 }
 
 func (ag *asyncGroup) SetAttrInt64(pr vol.Props, name string, v int64) error {
 	if err := ag.g.SetAttrInt64(uncharged(), name, v); err != nil {
 		return err
 	}
-	ag.deferMeta(pr, 1)
-	return nil
+	return ag.deferMeta(pr, 1)
 }
 
 func (ag *asyncGroup) AttrInt64(pr vol.Props, name string) (int64, error) {
@@ -319,8 +500,7 @@ func (ag *asyncGroup) SetAttrString(pr vol.Props, name, v string) error {
 	if err := ag.g.SetAttrString(uncharged(), name, v); err != nil {
 		return err
 	}
-	ag.deferMeta(pr, 1)
-	return nil
+	return ag.deferMeta(pr, 1)
 }
 
 func (ag *asyncGroup) AttrString(pr vol.Props, name string) (string, error) {
@@ -330,8 +510,25 @@ func (ag *asyncGroup) AttrString(pr vol.Props, name string) (string, error) {
 func (ag *asyncGroup) List() []string { return ag.g.List() }
 
 type asyncDataset struct {
-	c *Connector
-	d vol.Dataset
+	c   *Connector
+	d   vol.Dataset   // native handle (metadata)
+	raw *hdf5.Dataset // request target
+}
+
+// request builds the ioreq descriptor for one operation on this
+// dataset. The selection is copied for staged (inline) requests, which
+// outlive the call; synchronous fallbacks pass the caller's selection
+// straight through.
+func (ad *asyncDataset) request(op ioreq.Op, pr vol.Props, fspace *hdf5.Dataspace, buf []byte) *ioreq.Request {
+	return &ioreq.Request{
+		Op:      op,
+		Dataset: ad.raw,
+		Space:   fspace,
+		Buf:     buf,
+		Proc:    pr.Proc,
+		Span:    pr.Span,
+		Tag:     setTag(pr.Set),
+	}
 }
 
 // Write stages the buffer (charging the transactional overhead on the
@@ -339,44 +536,22 @@ type asyncDataset struct {
 // and returns. Completion is observable through pr.Set, Drain, Flush,
 // or Close.
 func (ad *asyncDataset) Write(pr vol.Props, fspace *hdf5.Dataspace, buf []byte) error {
-	c := ad.c
-	staged := buf
-	if c.opts.Materialize {
-		staged = append([]byte(nil), buf...)
-	}
-	if c.opts.Copy != nil {
-		c.opts.Copy.Copy(pr.Proc, int64(len(buf)))
-	}
 	var sel *hdf5.Dataspace
 	if fspace != nil {
 		sel = fspace.Copy()
 	}
-	c.push(pr.Proc, "H5Dwrite:async", func(p *vclock.Proc) error {
-		return ad.d.Write(vol.Props{Proc: p}, sel, staged)
-	}, pr.Set)
-	return nil
+	return ad.c.inline.Do(ad.request(ioreq.OpWrite, pr, sel, buf))
 }
 
 // WriteDiscard stages a write without byte movement: the caller pays
 // the transactional copy, the background stream pays the file-system
 // write. See vol.Dataset.
 func (ad *asyncDataset) WriteDiscard(pr vol.Props, fspace *hdf5.Dataspace) error {
-	c := ad.c
-	nbytes := ad.NBytes()
-	if fspace != nil {
-		nbytes = int64(fspace.SelectionCount()) * int64(ad.Dtype().Size)
-	}
-	if c.opts.Copy != nil {
-		c.opts.Copy.Copy(pr.Proc, nbytes)
-	}
 	var sel *hdf5.Dataspace
 	if fspace != nil {
 		sel = fspace.Copy()
 	}
-	c.push(pr.Proc, "H5Dwrite:async-discard", func(p *vclock.Proc) error {
-		return ad.d.WriteDiscard(vol.Props{Proc: p}, sel)
-	}, pr.Set)
-	return nil
+	return ad.c.inline.Do(ad.request(ioreq.OpWriteNull, pr, sel, nil))
 }
 
 // ReadDiscard serves a timing-only read: a matching prefetch costs only
@@ -395,7 +570,7 @@ func (ad *asyncDataset) ReadDiscard(pr vol.Props, fspace *hdf5.Dataspace) error 
 	}
 	c.mu.Unlock()
 	if !ok {
-		return ad.d.ReadDiscard(pr, fspace)
+		return c.exec.Do(ad.request(ioreq.OpReadNull, pr, fspace, nil))
 	}
 	if err := entry.task.Wait(pr.Proc); err != nil {
 		return err
@@ -421,7 +596,7 @@ func (ad *asyncDataset) Read(pr vol.Props, fspace *hdf5.Dataspace, buf []byte) e
 	}
 	c.mu.Unlock()
 	if !ok {
-		return ad.d.Read(pr, fspace, buf)
+		return c.exec.Do(ad.request(ioreq.OpRead, pr, fspace, buf))
 	}
 	if err := entry.task.Wait(pr.Proc); err != nil {
 		return err
@@ -442,6 +617,10 @@ func (ad *asyncDataset) Read(pr vol.Props, fspace *hdf5.Dataspace, buf []byte) e
 // equal selection is served from the staging buffer.
 func (ad *asyncDataset) Prefetch(pr vol.Props, fspace *hdf5.Dataspace) error {
 	c := ad.c
+	es, err := eventSetOf(setTag(pr.Set))
+	if err != nil {
+		return err
+	}
 	key := ad.key(fspace)
 	var sel *hdf5.Dataspace
 	nbytes := ad.NBytes()
@@ -460,12 +639,19 @@ func (ad *asyncDataset) Prefetch(pr vol.Props, fspace *hdf5.Dataspace) error {
 	}
 	c.mu.Unlock()
 	task := c.push(pr.Proc, "H5Dread:prefetch", func(p *vclock.Proc) error {
+		req := &ioreq.Request{Dataset: ad.raw, Space: sel, Proc: p, Span: pr.Span}
 		if staging == nil {
 			// Timing-only mode: charge the read without materializing.
-			return ad.d.Unwrap().ReadNull(&hdf5.TransferProps{Proc: p}, sel)
+			req.Op = ioreq.OpReadNull
+		} else {
+			req.Op = ioreq.OpRead
+			req.Buf = staging
 		}
-		return ad.d.Read(vol.Props{Proc: p}, sel, staging)
-	}, pr.Set)
+		return c.exec.Do(req)
+	})
+	if es != nil {
+		es.add(task)
+	}
 	c.mu.Lock()
 	c.cache[key] = &cacheEntry{task: task, buf: staging}
 	c.mu.Unlock()
@@ -477,13 +663,13 @@ func (ad *asyncDataset) key(fspace *hdf5.Dataspace) cacheKey {
 	if fspace != nil {
 		sel = fspace.String()
 	}
-	return cacheKey{uid: ad.d.Unwrap().UID(), sel: sel}
+	return cacheKey{uid: ad.raw.UID(), sel: sel}
 }
 
 func (ad *asyncDataset) Dims() []uint64        { return ad.d.Dims() }
 func (ad *asyncDataset) Dtype() hdf5.Datatype  { return ad.d.Dtype() }
 func (ad *asyncDataset) NBytes() int64         { return ad.d.NBytes() }
-func (ad *asyncDataset) Unwrap() *hdf5.Dataset { return ad.d.Unwrap() }
+func (ad *asyncDataset) Unwrap() *hdf5.Dataset { return ad.raw }
 
 // EventSet tracks asynchronous operations, like H5ES.
 type EventSet struct {
@@ -534,4 +720,5 @@ func (es *EventSet) Pending() int {
 var (
 	_ vol.Connector = (*Connector)(nil)
 	_ vol.EventSet  = (*EventSet)(nil)
+	_ ioreq.Stage   = stagingStage{}
 )

@@ -73,6 +73,14 @@ type RankCtx struct {
 	P    *vclock.Proc
 	Sys  *systems.System
 	Rank int
+	// Span is the rank's root trace span for the run. Hooks may hang
+	// their own children off it.
+	Span *trace.Span
+	// IOSpan is the span for the current I/O phase, reset by the loop
+	// before each IO hook. Workloads thread it into vol.Props so every
+	// request the phase issues — including work completing later on a
+	// background stream — records its transfer events here.
+	IOSpan *trace.Span
 }
 
 // Hooks are the workload-specific callbacks. All hooks run on every
@@ -204,7 +212,10 @@ func (ctl *controller) choose(epoch int, bytes int64, ranks int) (trace.Mode, mo
 
 func runRank(c *mpi.Comm, sys *systems.System, cfg Config, hooks Hooks, ctl *controller, rep *Report) {
 	p := c.Proc()
-	ctx := &RankCtx{Comm: c, P: p, Sys: sys, Rank: c.Rank()}
+	ctx := &RankCtx{
+		Comm: c, P: p, Sys: sys, Rank: c.Rank(),
+		Span: trace.NewSpan(fmt.Sprintf("rank%d", c.Rank())),
+	}
 	fail := func(err error) { c.Abort(err) }
 
 	initStart := p.Now()
@@ -245,6 +256,7 @@ func runRank(c *mpi.Comm, sys *systems.System, cfg Config, hooks Hooks, ctl *con
 		// the max across ranks — parallel I/O finishes when the slowest
 		// rank finishes (§III-B2).
 		c.Barrier()
+		ctx.IOSpan = ctx.Span.Child(fmt.Sprintf("epoch%d:io", iter))
 		ioStart := p.Now()
 		myBytes, err := hooks.IO(ctx, iter, mode)
 		if err != nil {

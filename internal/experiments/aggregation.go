@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"time"
+
+	"asyncio/internal/core"
+	"asyncio/internal/pfs"
+	"asyncio/internal/workloads/vpicio"
+)
+
+// AblationAggregation measures what two-phase-style write aggregation
+// (the ioreq pipeline's AggStage) buys back from the small-request
+// penalty: a reduced VPIC-IO checkpoint where each rank's per-property
+// slab is far below the stripe-efficiency knee, written synchronously
+// with aggregation off and on (window = one slot per rank, so each
+// property's adjacent rank slabs coalesce into one dispatch per step).
+//
+// The checkpoint targets a congested backend — aggregate capacity a few
+// multiples of one flow's injection rate, the state of a busy shared
+// scratch system — because that is the regime the penalty governs: the
+// file system serves b+ramp bytes of work per b-byte request, so at 16
+// KB per request the backend does ~65× the useful work. On an idle
+// backend the per-flow injection cap is the bottleneck instead and
+// direct parallel writes win; both columns report honestly whichever
+// way it falls at the given scale.
+func AblationAggregation(scale Scale) (*Table, error) {
+	nodes := scale.CoriNodes
+	// Small per-rank slabs: 16 Ki particles → 64 KB per property.
+	const particles = 16 << 10
+
+	t := &Table{
+		ID:     "abl-agg",
+		Title:  "Ablation: collective write aggregation vs direct dispatch, small-request VPIC-IO, congested Lustre (sync)",
+		XLabel: "MPI ranks", YLabel: "GB/s",
+	}
+	var ranks, plain, agged []float64
+	for _, n := range nodes {
+		var dispatches [2]int64
+		for i, window := range []bool{false, true} {
+			sys := newSystem("cori", n)
+			target := pfs.NewTarget(sys.Clk, pfs.TargetConfig{
+				Name:        "lustre-congested",
+				BackendPeak: 0.3e9,
+				PerFlowBW:   0.1e9,
+				ReqRamp:     1 << 20,
+				MetaLatency: 30 * time.Microsecond,
+				OpLatency:   100 * time.Microsecond,
+			})
+			cfg := vpicio.Config{
+				Steps:            scale.Steps,
+				ParticlesPerRank: particles,
+				ComputeTime:      time.Second,
+				Mode:             core.ForceSync,
+				Target:           target,
+			}
+			if window {
+				cfg.AggWindow = sys.Size()
+			}
+			rep, _, err := vpicio.Run(sys, cfg)
+			if err != nil {
+				return nil, err
+			}
+			dispatches[i] = target.Stats().WriteOps
+			if !window {
+				ranks = append(ranks, float64(rep.Run.Ranks))
+				plain = append(plain, gb(rep.Run.PeakRate()))
+			} else {
+				agged = append(agged, gb(rep.Run.PeakRate()))
+			}
+		}
+		t.note("%d ranks: %d write dispatches direct, %d aggregated",
+			int(ranks[len(ranks)-1]), dispatches[0], dispatches[1])
+	}
+	t.Series = []Series{
+		{Name: "sync direct", X: ranks, Y: plain},
+		{Name: "sync aggregated", X: ranks, Y: agged},
+	}
+	t.note("aggregation merges adjacent rank slabs per dataset into one request, sidestepping the b/(b+ramp) small-request efficiency loss")
+	return t, nil
+}

@@ -63,6 +63,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig5", "fig6", "fig7", "fig8",
 		"r2", "micro-mem", "micro-gpu",
 		"abl-zerocopy", "abl-fit", "abl-staging", "abl-bb",
+		"abl-agg",
 	}
 	for _, id := range want {
 		if reg[id] == nil {
@@ -275,6 +276,22 @@ func TestAblationBurstBufferBeatsLustre(t *testing.T) {
 	bb := mustSeries(t, tab, "burst buffer")
 	if bb.Y[0] <= lustre.Y[0] {
 		t.Fatalf("burst buffer %v not above lustre %v", bb.Y[0], lustre.Y[0])
+	}
+}
+
+func TestAblationAggregationWinsOnCongestedBackend(t *testing.T) {
+	sc := tinyScale()
+	sc.CoriNodes = []int{1}
+	tab, err := AblationAggregation(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := mustSeries(t, tab, "sync direct")
+	agged := mustSeries(t, tab, "sync aggregated")
+	// On the congested backend the merged dispatches amortize the
+	// per-request ramp, so aggregation comes out well ahead.
+	if agged.Y[0] < 2*direct.Y[0] {
+		t.Fatalf("aggregated %v not ≥ 2× direct %v", agged.Y[0], direct.Y[0])
 	}
 }
 

@@ -43,6 +43,7 @@ func Registry() map[string]Generator {
 		"abl-fit":      AblationFitKinds,
 		"abl-staging":  AblationStaging,
 		"abl-bb":       AblationBurstBuffer,
+		"abl-agg":      AblationAggregation,
 	}
 }
 

@@ -71,7 +71,7 @@ func (d *Dataset) Write(tp *TransferProps, fspace *Dataspace, buf []byte) error 
 	if err != nil {
 		return err
 	}
-	f.driver.WriteData(tp.proc(), nbytes)
+	chargeWrite(f.driver, tp, nbytes)
 	tsize := uint64(d.o.dtype.Size)
 	var memOff uint64
 	if !d.o.lay.chunked {
@@ -116,7 +116,7 @@ func (d *Dataset) Read(tp *TransferProps, fspace *Dataspace, buf []byte) error {
 	if err != nil {
 		return err
 	}
-	f.driver.ReadData(tp.proc(), nbytes)
+	chargeRead(f.driver, tp, nbytes)
 	tsize := uint64(d.o.dtype.Size)
 	var memOff uint64
 	readAt := func(b []byte, addr int64) error {
@@ -170,7 +170,7 @@ func (d *Dataset) ReadNull(tp *TransferProps, fspace *Dataspace) error {
 	if err != nil {
 		return err
 	}
-	f.driver.ReadData(tp.proc(), nbytes)
+	chargeRead(f.driver, tp, nbytes)
 	if !d.o.lay.chunked {
 		return nil
 	}
@@ -191,7 +191,7 @@ func (d *Dataset) WriteNull(tp *TransferProps, fspace *Dataspace) error {
 	if err != nil {
 		return err
 	}
-	f.driver.WriteData(tp.proc(), nbytes)
+	chargeWrite(f.driver, tp, nbytes)
 	if !d.o.lay.chunked {
 		return nil
 	}

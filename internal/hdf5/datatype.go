@@ -54,7 +54,10 @@ var (
 	F64 = Datatype{Class: ClassFloat, Size: 8}
 )
 
-// FixedString returns a fixed-length string type of n bytes.
+// FixedString returns a fixed-length string type of n bytes. A
+// non-positive length is a programmer error (type shapes are static,
+// like MustSimple's dimensions), hence the panic rather than an error
+// return.
 func FixedString(n int) Datatype {
 	if n <= 0 {
 		panic(fmt.Sprintf("hdf5: FixedString length %d", n))

@@ -1,6 +1,9 @@
 package hdf5
 
-import "asyncio/internal/vclock"
+import (
+	"asyncio/internal/trace"
+	"asyncio/internal/vclock"
+)
 
 // Driver charges virtual time for the I/O a File performs. The library
 // separates byte movement (always real, through the Store) from time
@@ -20,6 +23,16 @@ type Driver interface {
 	MetaOp(p *vclock.Proc)
 }
 
+// SpanDriver is optionally implemented by drivers that record transfer
+// timing onto a request's trace span (internal/pfs does). When a
+// transfer carries a span and the file's driver implements SpanDriver,
+// the library routes the charge through these entry points instead of
+// WriteData/ReadData; the time charged must be identical either way.
+type SpanDriver interface {
+	WriteDataSpan(p *vclock.Proc, nbytes int64, sp *trace.Span)
+	ReadDataSpan(p *vclock.Proc, nbytes int64, sp *trace.Span)
+}
+
 // NopDriver charges nothing; it is the default for plain library use.
 type NopDriver struct{}
 
@@ -34,9 +47,12 @@ func (NopDriver) MetaOp(*vclock.Proc) {}
 
 // TransferProps parameterizes one data-transfer call, mirroring HDF5's
 // dataset-transfer property list (DXPL). Proc identifies the acting
-// virtual-clock process; nil performs the operation untimed.
+// virtual-clock process; nil performs the operation untimed. Span, when
+// non-nil, receives trace events for the transfer and is forwarded to
+// span-aware drivers.
 type TransferProps struct {
 	Proc *vclock.Proc
+	Span *trace.Span
 }
 
 // proc returns the acting process of tp, tolerating a nil receiver.
@@ -45,4 +61,35 @@ func (tp *TransferProps) proc() *vclock.Proc {
 		return nil
 	}
 	return tp.Proc
+}
+
+// span returns the trace span of tp, tolerating a nil receiver.
+func (tp *TransferProps) span() *trace.Span {
+	if tp == nil {
+		return nil
+	}
+	return tp.Span
+}
+
+// chargeWrite charges a data write on d, routing through the span-aware
+// entry point when both a span and a SpanDriver are present.
+func chargeWrite(d Driver, tp *TransferProps, nbytes int64) {
+	if sp := tp.span(); sp != nil {
+		if sd, ok := d.(SpanDriver); ok {
+			sd.WriteDataSpan(tp.proc(), nbytes, sp)
+			return
+		}
+	}
+	d.WriteData(tp.proc(), nbytes)
+}
+
+// chargeRead is chargeWrite for reads.
+func chargeRead(d Driver, tp *TransferProps, nbytes int64) {
+	if sp := tp.span(); sp != nil {
+		if sd, ok := d.(SpanDriver); ok {
+			sd.ReadDataSpan(tp.proc(), nbytes, sp)
+			return
+		}
+	}
+	d.ReadData(tp.proc(), nbytes)
 }

@@ -20,14 +20,24 @@ type CreateProps struct {
 	Deflate bool
 }
 
-// validateName rejects empty names and path separators; creation is one
-// component at a time, as in H5Gcreate/H5Dcreate with relative names.
+// maxNameLen bounds object and attribute names to what the wire format
+// can encode (a u16 length prefix — see writer.str).
+const maxNameLen = 0xFFFF
+
+// validateName rejects empty names, path separators, and names too long
+// for the wire format; creation is one component at a time, as in
+// H5Gcreate/H5Dcreate with relative names. Because every name entering
+// the file passes this check, writer.str's length panic is an internal
+// invariant rather than a user-reachable failure.
 func validateName(name string) error {
 	if name == "" {
 		return fmt.Errorf("hdf5: empty object name")
 	}
 	if strings.Contains(name, "/") {
 		return fmt.Errorf("hdf5: name %q must be a single path component", name)
+	}
+	if len(name) > maxNameLen {
+		return fmt.Errorf("hdf5: name is %d bytes, limit %d", len(name), maxNameLen)
 	}
 	return nil
 }

@@ -19,6 +19,10 @@ func (w *writer) bytes(b []byte) {
 	w.buf = append(w.buf, b...)
 }
 
+// str writes a u16-length-prefixed string. Only object and attribute
+// names reach here, and validateName bounds them to maxNameLen, so the
+// length panic is a programmer-error invariant (an unvalidated call
+// site), not a user-reachable failure.
 func (w *writer) str(s string) {
 	if len(s) > 0xFFFF {
 		panic(fmt.Sprintf("hdf5: string too long (%d bytes)", len(s)))

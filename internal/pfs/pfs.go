@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"asyncio/internal/flow"
+	"asyncio/internal/trace"
 	"asyncio/internal/vclock"
 )
 
@@ -46,12 +47,38 @@ type TargetConfig struct {
 	OpLatency time.Duration
 }
 
-// Target is a storage tier. It implements hdf5.Driver, so a file created
-// with hdf5.WithDriver(target) charges all its I/O here.
+// Target is a storage tier. It implements hdf5.Driver (and the
+// span-aware hdf5.SpanDriver), so a file created with
+// hdf5.WithDriver(target) charges all its I/O here.
 type Target struct {
 	cfg        TargetConfig
 	srv        *flow.Server
 	contention atomic.Uint64 // float64 bits; capacity multiplier in (0,1]
+
+	// Dispatch counters: one data op = one charged request against the
+	// backend (the unit the small-request penalty applies to).
+	writeOps, readOps, metaOps atomic.Int64
+	bytesWritten, bytesRead    atomic.Int64
+}
+
+// Stats is a snapshot of a target's charged traffic. Untimed operations
+// (nil proc, zero bytes) are not counted — the counters measure what
+// the file system actually served, so experiments can assert e.g. how
+// many dispatches an aggregation stage saved.
+type Stats struct {
+	WriteOps, ReadOps, MetaOps int64
+	BytesWritten, BytesRead    int64
+}
+
+// Stats returns the target's dispatch counters.
+func (t *Target) Stats() Stats {
+	return Stats{
+		WriteOps:     t.writeOps.Load(),
+		ReadOps:      t.readOps.Load(),
+		MetaOps:      t.metaOps.Load(),
+		BytesWritten: t.bytesWritten.Load(),
+		BytesRead:    t.bytesRead.Load(),
+	}
 }
 
 // NewTarget builds a target on clk.
@@ -114,21 +141,54 @@ func (t *Target) reqEff(b int64) float64 {
 	return float64(b) / float64(b+t.cfg.ReqRamp)
 }
 
-// transfer charges one data request of b bytes.
-func (t *Target) transfer(p *vclock.Proc, b int64) {
+// transfer charges one data request of b bytes, reporting whether the
+// request was actually served (and should be counted).
+func (t *Target) transfer(p *vclock.Proc, b int64) bool {
 	if p == nil || b <= 0 {
-		return
+		return false
 	}
 	p.Sleep(t.cfg.OpLatency)
 	served := int64(float64(b) / t.reqEff(b))
 	t.srv.TransferLimited(p, served, t.cfg.PerFlowBW*t.ContentionFactor())
+	return true
 }
 
 // WriteData implements hdf5.Driver.
-func (t *Target) WriteData(p *vclock.Proc, nbytes int64) { t.transfer(p, nbytes) }
+func (t *Target) WriteData(p *vclock.Proc, nbytes int64) {
+	if t.transfer(p, nbytes) {
+		t.writeOps.Add(1)
+		t.bytesWritten.Add(nbytes)
+	}
+}
 
 // ReadData implements hdf5.Driver.
-func (t *Target) ReadData(p *vclock.Proc, nbytes int64) { t.transfer(p, nbytes) }
+func (t *Target) ReadData(p *vclock.Proc, nbytes int64) {
+	if t.transfer(p, nbytes) {
+		t.readOps.Add(1)
+		t.bytesRead.Add(nbytes)
+	}
+}
+
+// WriteDataSpan implements hdf5.SpanDriver: identical charge to
+// WriteData, plus a span event covering the transfer in virtual time.
+func (t *Target) WriteDataSpan(p *vclock.Proc, nbytes int64, sp *trace.Span) {
+	start := procNow(p)
+	if t.transfer(p, nbytes) {
+		t.writeOps.Add(1)
+		t.bytesWritten.Add(nbytes)
+		sp.EventDur("pfs:"+t.cfg.Name+":write", nbytes, start, p.Now()-start)
+	}
+}
+
+// ReadDataSpan implements hdf5.SpanDriver.
+func (t *Target) ReadDataSpan(p *vclock.Proc, nbytes int64, sp *trace.Span) {
+	start := procNow(p)
+	if t.transfer(p, nbytes) {
+		t.readOps.Add(1)
+		t.bytesRead.Add(nbytes)
+		sp.EventDur("pfs:"+t.cfg.Name+":read", nbytes, start, p.Now()-start)
+	}
+}
 
 // MetaOp implements hdf5.Driver.
 func (t *Target) MetaOp(p *vclock.Proc) {
@@ -136,6 +196,15 @@ func (t *Target) MetaOp(p *vclock.Proc) {
 		return
 	}
 	p.Sleep(t.cfg.MetaLatency)
+	t.metaOps.Add(1)
+}
+
+// procNow returns p's virtual time, tolerating nil.
+func procNow(p *vclock.Proc) time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.Now()
 }
 
 // EffectiveBandwidth returns the modelled steady-state aggregate

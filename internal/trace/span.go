@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SpanEvent is one timestamped occurrence inside a Span. At is virtual
+// time (the acting process's clock when the event happened); Dur is the
+// virtual time the event covered (zero for instantaneous marks).
+type SpanEvent struct {
+	Name  string
+	Bytes int64
+	At    time.Duration
+	Dur   time.Duration
+}
+
+// Span is a lightweight trace node for following one I/O request — or a
+// whole epoch of them — across layers: the application rank that issued
+// it, the connector that staged it, the background stream that executed
+// it, and the file-system target that charged it.
+//
+// Spans form a tree (Child) and collect events (Event/EventDur). All
+// methods are safe for concurrent use and safe on a nil receiver, so
+// code paths can record unconditionally: untraced requests simply carry
+// a nil span and every call is a no-op.
+type Span struct {
+	name string
+
+	mu       sync.Mutex
+	events   []SpanEvent
+	children []*Span
+}
+
+// NewSpan returns an empty root span.
+func NewSpan(name string) *Span { return &Span{name: name} }
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Child creates and attaches a sub-span. Returns nil when s is nil, so
+// chains of untraced spans stay no-ops.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Event records an instantaneous event at virtual time at.
+func (s *Span) Event(name string, bytes int64, at time.Duration) {
+	s.EventDur(name, bytes, at, 0)
+}
+
+// EventDur records an event covering [at, at+dur) in virtual time.
+func (s *Span) EventDur(name string, bytes int64, at, dur time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.events = append(s.events, SpanEvent{Name: name, Bytes: bytes, At: at, Dur: dur})
+	s.mu.Unlock()
+}
+
+// Events returns a copy of the span's own events (nil for a nil span).
+func (s *Span) Events() []SpanEvent {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SpanEvent(nil), s.events...)
+}
+
+// Children returns a copy of the attached sub-spans.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Find returns the first event with the given name in this span or any
+// descendant, depth-first.
+func (s *Span) Find(name string) (SpanEvent, bool) {
+	if s == nil {
+		return SpanEvent{}, false
+	}
+	for _, ev := range s.Events() {
+		if ev.Name == name {
+			return ev, true
+		}
+	}
+	for _, c := range s.Children() {
+		if ev, ok := c.Find(name); ok {
+			return ev, true
+		}
+	}
+	return SpanEvent{}, false
+}
+
+// String renders the span tree, one node or event per line.
+func (s *Span) String() string {
+	if s == nil {
+		return "<nil span>"
+	}
+	var b strings.Builder
+	s.render(&b, 0)
+	return b.String()
+}
+
+func (s *Span) render(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s%s\n", indent, s.name)
+	for _, ev := range s.Events() {
+		fmt.Fprintf(b, "%s  @%v", indent, ev.At)
+		if ev.Dur > 0 {
+			fmt.Fprintf(b, "+%v", ev.Dur)
+		}
+		fmt.Fprintf(b, " %s", ev.Name)
+		if ev.Bytes > 0 {
+			fmt.Fprintf(b, " (%d B)", ev.Bytes)
+		}
+		b.WriteByte('\n')
+	}
+	for _, c := range s.Children() {
+		c.render(b, depth+1)
+	}
+}

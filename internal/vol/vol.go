@@ -13,19 +13,24 @@ package vol
 
 import (
 	"asyncio/internal/hdf5"
+	"asyncio/internal/trace"
 	"asyncio/internal/vclock"
 )
 
 // Props carries per-call context, like HDF5's access/transfer property
-// lists: the acting virtual-clock process and an optional event set for
-// asynchronous completion tracking (the H5ES analog).
+// lists: the acting virtual-clock process, an optional event set for
+// asynchronous completion tracking (the H5ES analog), and an optional
+// trace span the operation's request will carry through the pipeline.
 type Props struct {
 	Proc *vclock.Proc
 	Set  EventSet
+	Span *trace.Span
 }
 
 // TP converts to the hdf5 layer's transfer props.
-func (pr Props) TP() *hdf5.TransferProps { return &hdf5.TransferProps{Proc: pr.Proc} }
+func (pr Props) TP() *hdf5.TransferProps {
+	return &hdf5.TransferProps{Proc: pr.Proc, Span: pr.Span}
+}
 
 // EventSet tracks in-flight asynchronous operations. Wait blocks until
 // every tracked operation completes and returns the first error. For

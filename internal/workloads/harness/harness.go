@@ -11,6 +11,7 @@ import (
 	"asyncio/internal/asyncvol"
 	"asyncio/internal/core"
 	"asyncio/internal/hdf5"
+	"asyncio/internal/ioreq"
 	"asyncio/internal/systems"
 	"asyncio/internal/taskengine"
 	"asyncio/internal/trace"
@@ -25,6 +26,8 @@ type Env struct {
 	AsyncFile vol.File
 	SyncFile  vol.File
 	ES        *asyncvol.EventSet
+
+	syncPL *ioreq.Pipeline // non-nil when Options.SyncPipeline was set
 }
 
 // Options configures environment construction.
@@ -41,6 +44,14 @@ type Options struct {
 	// ZeroCopy disables the transactional copy entirely — the ablation
 	// of the overhead term.
 	ZeroCopy bool
+	// SyncPipeline overrides the synchronous connector's I/O request
+	// pipeline. Pass one instance shared by every rank (e.g.
+	// ioreq.New(ioreq.NewAgg(cfg))) to aggregate adjacent writes across
+	// ranks; Term flushes it before closing the file.
+	SyncPipeline *ioreq.Pipeline
+	// AsyncAggregate enables the aggregation stage inside each rank's
+	// asynchronous connector. The zero value leaves it off.
+	AsyncAggregate ioreq.AggConfig
 }
 
 // NewEnv builds the per-rank environment around a shared raw file. The
@@ -61,13 +72,15 @@ func NewEnv(ctx *core.RankCtx, eng *taskengine.Engine, raw *hdf5.File, opts Opti
 	conn := asyncvol.New(eng, fmt.Sprintf("rank%d", ctx.Rank), asyncvol.Options{
 		Copy:        copyModel,
 		Materialize: opts.Materialize,
+		Aggregate:   opts.AsyncAggregate,
 	})
 	return &Env{
 		Rank:      ctx.Rank,
 		Conn:      conn,
 		AsyncFile: conn.Wrap(raw),
-		SyncFile:  vol.Native{}.Wrap(raw),
+		SyncFile:  vol.Native{Pipeline: opts.SyncPipeline}.Wrap(raw),
 		ES:        asyncvol.NewEventSet(),
+		syncPL:    opts.SyncPipeline,
 	}
 }
 
@@ -97,8 +110,14 @@ func (e *Env) Drain(p *vclock.Proc) error {
 }
 
 // Term drains, closes the file (idempotent across ranks), and shuts the
-// background stream down.
+// background stream down. A shared synchronous aggregation pipeline is
+// flushed first so buffered writes reach the store before close.
 func (e *Env) Term(p *vclock.Proc) error {
+	if e.syncPL != nil {
+		if err := e.syncPL.Flush(p); err != nil {
+			return err
+		}
+	}
 	if err := e.AsyncFile.Close(vol.Props{Proc: p}); err != nil {
 		return err
 	}

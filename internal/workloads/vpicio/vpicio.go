@@ -13,6 +13,7 @@ import (
 
 	"asyncio/internal/core"
 	"asyncio/internal/hdf5"
+	"asyncio/internal/ioreq"
 	"asyncio/internal/model"
 	"asyncio/internal/systems"
 	"asyncio/internal/taskengine"
@@ -45,6 +46,12 @@ type Config struct {
 	// (default: the system's parallel file system). Use e.g.
 	// sys.BurstBuffer to evaluate the burst-buffer tier.
 	Target hdf5.Driver
+	// AggWindow, when positive, aggregates synchronous writes: one
+	// shared ioreq pipeline with an aggregation stage buffering up to
+	// AggWindow requests per dataset coalesces adjacent rank slabs into
+	// one storage dispatch (two-phase collective buffering). Set it to
+	// the rank count to merge each property's per-step writes.
+	AggWindow int
 }
 
 // Run executes the kernel on sys and returns the run report plus the
@@ -60,6 +67,9 @@ func Run(sys *systems.System, cfg Config) (*core.Report, *hdf5.File, error) {
 		cfg.ComputeTime = 30 * time.Second
 	}
 	cfg.Env.Materialize = cfg.Materialize
+	if cfg.AggWindow > 0 && cfg.Env.SyncPipeline == nil {
+		cfg.Env.SyncPipeline = ioreq.New(ioreq.NewAgg(ioreq.AggConfig{MaxRequests: cfg.AggWindow}))
+	}
 
 	target := hdf5.Driver(sys.PFS)
 	if cfg.Target != nil {
@@ -122,6 +132,7 @@ func StepGroup(step int) string { return fmt.Sprintf("Step#%d", step) }
 func writeStep(ctx *core.RankCtx, env *harness.Env, pool *harness.BufferPool, cfg Config, step int, mode trace.Mode) (int64, error) {
 	c := ctx.Comm
 	pr := env.Props(ctx.P, mode)
+	pr.Span = ctx.IOSpan
 	file := env.File(mode)
 	total := cfg.ParticlesPerRank * uint64(c.Size())
 
