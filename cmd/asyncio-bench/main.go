@@ -21,15 +21,20 @@ import (
 	"sort"
 	"time"
 
+	"asyncio/internal/core"
 	"asyncio/internal/experiments"
+	"asyncio/internal/metrics"
+	"asyncio/internal/perfetto"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (see -list) or \"all\"")
-		scale   = flag.String("scale", "reduced", "sweep scale: reduced or full")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		timings = flag.Bool("timings", false, "print wall-clock time per experiment")
+		exp        = flag.String("exp", "", "experiment id (see -list) or \"all\"")
+		scale      = flag.String("scale", "reduced", "sweep scale: reduced or full")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		timings    = flag.Bool("timings", false, "print wall-clock time per experiment")
+		traceJSON  = flag.String("trace-json", "", "write the last run's Chrome trace-event JSON (Perfetto) to this path")
+		metricsCSV = flag.String("metrics", "", "write every run's metrics registry (labeled, concatenated CSV) to this path")
 	)
 	flag.Parse()
 
@@ -71,6 +76,18 @@ func main() {
 		}
 		run = []string{*exp}
 	}
+
+	// Experiments construct their systems (and so their registries)
+	// internally; the observer hook collects each completed run's report
+	// so observability data can be exported without touching every
+	// experiment. Runs execute sequentially.
+	var reports []*core.Report
+	if *traceJSON != "" || *metricsCSV != "" {
+		metrics.SetSeriesDefault(true)
+		core.SetRunObserver(func(rep *core.Report) { reports = append(reports, rep) })
+		defer core.SetRunObserver(nil)
+	}
+
 	for _, id := range run {
 		start := time.Now()
 		tab, err := reg[id](sc)
@@ -86,4 +103,41 @@ func main() {
 			fmt.Printf("(%s generated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
 	}
+
+	if *metricsCSV != "" {
+		f, err := os.Create(*metricsCSV)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for i, rep := range reports {
+			label := fmt.Sprintf("run%03d-%s-%s-%s-%dr", i, rep.Run.Workload, rep.Run.System, rep.Run.Mode, rep.Run.Ranks)
+			if err := rep.Metrics.WriteCSV(f, label); err != nil {
+				fatalf("writing metrics CSV: %v", err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing metrics CSV: %v", err)
+		}
+	}
+	if *traceJSON != "" {
+		if len(reports) == 0 {
+			fatalf("-trace-json: no runs were observed")
+		}
+		last := reports[len(reports)-1]
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := perfetto.Write(f, last.Spans, last.Metrics); err != nil {
+			fatalf("writing trace JSON: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing trace JSON: %v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "asyncio-bench: "+format+"\n", args...)
+	os.Exit(1)
 }

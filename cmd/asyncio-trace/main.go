@@ -3,10 +3,15 @@
 // the paper's model to. Together they form the offline half of the
 // feedback loop: capture a history, fit the model, decide the mode.
 //
+// With -trace-json it additionally exports the run's span trees and
+// metric series as Chrome trace-event JSON (open in ui.perfetto.dev);
+// with -metrics it dumps the metrics registry as CSV.
+//
 // Usage:
 //
 //	asyncio-trace -workload vpic -system summit -nodes 16 -mode adaptive -steps 8 -o trace.csv
 //	asyncio-trace -workload bdcats -system cori -nodes 4 -mode async
+//	asyncio-trace -workload vpic -nodes 2 -steps 2 -mode async -trace-json run.json -metrics run-metrics.csv
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"time"
 
 	"asyncio/internal/core"
+	"asyncio/internal/perfetto"
 	"asyncio/internal/systems"
 	"asyncio/internal/trace"
 	"asyncio/internal/vclock"
@@ -28,13 +34,15 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "vpic", "vpic | bdcats | nyx | castro | eqsim")
-		system   = flag.String("system", "summit", "summit | cori")
-		nodes    = flag.Int("nodes", 16, "allocation size in nodes")
-		modeStr  = flag.String("mode", "adaptive", "sync | async | adaptive")
-		steps    = flag.Int("steps", 8, "epochs (checkpoints/time steps)")
-		compute  = flag.Duration("compute", 30*time.Second, "computation phase per epoch")
-		out      = flag.String("o", "", "output CSV path (default stdout)")
+		workload   = flag.String("workload", "vpic", "vpic | bdcats | nyx | castro | eqsim")
+		system     = flag.String("system", "summit", "summit | cori")
+		nodes      = flag.Int("nodes", 16, "allocation size in nodes")
+		modeStr    = flag.String("mode", "adaptive", "sync | async | adaptive")
+		steps      = flag.Int("steps", 8, "epochs (checkpoints/time steps)")
+		compute    = flag.Duration("compute", 30*time.Second, "computation phase per epoch")
+		out        = flag.String("o", "", "output CSV path (default stdout)")
+		traceJSON  = flag.String("trace-json", "", "write Chrome trace-event JSON (Perfetto) to this path")
+		metricsCSV = flag.String("metrics", "", "write the metrics registry as CSV to this path")
 	)
 	flag.Parse()
 
@@ -58,6 +66,9 @@ func main() {
 		sys = systems.CoriHaswell(clk, *nodes)
 	default:
 		fatalf("unknown system %q", *system)
+	}
+	if *traceJSON != "" || *metricsCSV != "" {
+		sys.Metrics.EnableSeries()
 	}
 
 	var rep *core.Report
@@ -94,6 +105,31 @@ func main() {
 	}
 	if err := trace.WriteCSV(w, rep.Run.Records); err != nil {
 		fatalf("writing CSV: %v", err)
+	}
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := perfetto.Write(f, rep.Spans, rep.Metrics); err != nil {
+			fatalf("writing trace JSON: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing trace JSON: %v", err)
+		}
+	}
+	if *metricsCSV != "" {
+		f, err := os.Create(*metricsCSV)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		label := fmt.Sprintf("%s-%s-%dn-%s", *workload, sys.Name, sys.Nodes(), *modeStr)
+		if err := rep.Metrics.WriteCSV(f, label); err != nil {
+			fatalf("writing metrics CSV: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing metrics CSV: %v", err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "%s on %s, %d nodes (%d ranks), %d epochs, mode=%s: total %v, peak %.2f GB/s\n",
 		*workload, sys.Name, sys.Nodes(), rep.Run.Ranks, len(rep.Run.Records), *modeStr,

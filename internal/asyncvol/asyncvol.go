@@ -29,6 +29,7 @@ import (
 
 	"asyncio/internal/hdf5"
 	"asyncio/internal/ioreq"
+	"asyncio/internal/metrics"
 	"asyncio/internal/taskengine"
 	"asyncio/internal/vclock"
 	"asyncio/internal/vol"
@@ -72,6 +73,12 @@ type Options struct {
 	// write's completion is observable only after its chain flushes —
 	// window trigger, Drain, Flush, or Close.
 	Aggregate ioreq.AggConfig
+	// Metrics, when non-nil, records the connector's activity under
+	// "asyncvol.*" (op-queue depth, staged bytes, drain and backpressure
+	// waits) and instruments both request pipelines. Instruments are
+	// shared by every connector on the registry, so the series aggregate
+	// across ranks.
+	Metrics *metrics.Registry
 }
 
 // Connector is the asynchronous connector for one simulated process.
@@ -92,6 +99,15 @@ type Connector struct {
 	last     *taskengine.Task
 	inflight []*taskengine.Task // submission order; pruned as tasks finish
 	cache    map[cacheKey]*cacheEntry
+
+	// Instruments (nil when Options.Metrics is nil; methods no-op).
+	mQueueDepth  *metrics.Gauge
+	mEnqueued    *metrics.Counter
+	mStagedBytes *metrics.Counter
+	mDrains      *metrics.Counter
+	mDrainWait   *metrics.Histogram
+	mStalls      *metrics.Counter
+	mStallWait   *metrics.Histogram
 }
 
 type cacheKey struct {
@@ -112,14 +128,23 @@ func New(eng *taskengine.Engine, name string, opts Options) *Connector {
 		opts:  opts,
 		cache: make(map[cacheKey]*cacheEntry),
 	}
+	if m := opts.Metrics; m != nil {
+		c.mQueueDepth = m.Gauge("asyncvol.queue_depth")
+		c.mEnqueued = m.Counter("asyncvol.ops_enqueued")
+		c.mStagedBytes = m.Counter("asyncvol.staged_bytes")
+		c.mDrains = m.Counter("asyncvol.drains")
+		c.mDrainWait = m.Histogram("asyncvol.drain_wait_seconds")
+		c.mStalls = m.Counter("asyncvol.backpressure_stalls")
+		c.mStallWait = m.Histogram("asyncvol.backpressure_wait_seconds")
+	}
 	c.stream = eng.NewStream("asyncvol:" + name)
 	stages := []ioreq.Stage{stagingStage{c: c}}
 	if opts.Aggregate.Enabled() {
 		c.agg = ioreq.NewAgg(opts.Aggregate)
 		stages = append(stages, c.agg)
 	}
-	c.inline = ioreq.NewCustom(c.enqueue, stages...)
-	c.exec = ioreq.New()
+	c.inline = ioreq.NewCustom(c.enqueue, stages...).WithMetrics(opts.Metrics)
+	c.exec = ioreq.New().WithMetrics(opts.Metrics)
 	return c
 }
 
@@ -145,6 +170,7 @@ func (c *Connector) Shutdown() { c.stream.Shutdown() }
 // chains), then blocks p until every operation pushed so far has
 // completed.
 func (c *Connector) Drain(p *vclock.Proc) error {
+	start := procNow(p)
 	if err := c.inline.Flush(p); err != nil {
 		return err
 	}
@@ -154,7 +180,10 @@ func (c *Connector) Drain(p *vclock.Proc) error {
 	if last == nil {
 		return nil
 	}
-	return last.Wait(p)
+	err := last.Wait(p)
+	c.mDrains.Add(1)
+	c.mDrainWait.Observe((procNow(p) - start).Seconds())
+	return err
 }
 
 // stagingStage is the transactional double-buffer copy as a pipeline
@@ -178,7 +207,8 @@ func (s stagingStage) Process(req *ioreq.Request, next func(*ioreq.Request) erro
 	if c.opts.Copy != nil {
 		c.opts.Copy.Copy(req.Proc, n)
 	}
-	req.Span.Event("asyncvol:stage", n, procNow(req.Proc))
+	c.mStagedBytes.Add(n)
+	req.Span.EventOn("asyncvol:stage", n, procNow(req.Proc), procName(req.Proc))
 	return next(req)
 }
 
@@ -282,6 +312,14 @@ func procNow(p *vclock.Proc) time.Duration {
 	return p.Now()
 }
 
+// procName returns p's process name, tolerating nil.
+func procName(p *vclock.Proc) string {
+	if p == nil {
+		return ""
+	}
+	return p.Name()
+}
+
 // push enqueues a background task and records it as the newest. When
 // MaxPending is set and p is non-nil, the caller blocks until the queue
 // has room (backpressure).
@@ -289,9 +327,22 @@ func (c *Connector) push(p *vclock.Proc, name string, fn func(p *vclock.Proc) er
 	if c.opts.MaxPending > 0 && p != nil {
 		c.waitForRoom(p)
 	}
+	// Queue depth counts submit → complete, so the series shows how much
+	// work is riding the background stream at any virtual instant; the
+	// decrement runs on the stream at completion time.
+	c.mEnqueued.Add(1)
+	c.mQueueDepth.Add(1)
+	run := fn
+	if c.mQueueDepth != nil {
+		run = func(p *vclock.Proc) error {
+			err := fn(p)
+			c.mQueueDepth.Add(-1)
+			return err
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	t := c.stream.Push(name, nil, fn)
+	t := c.stream.Push(name, nil, run)
 	c.last = t
 	// Only buffer-holding submissions (those with a caller to block)
 	// count toward the bound; deferred metadata tasks hold nothing.
@@ -305,6 +356,8 @@ func (c *Connector) push(p *vclock.Proc, name string, fn func(p *vclock.Proc) er
 // outstanding. The stream is FIFO, so waiting on the oldest unfinished
 // task suffices.
 func (c *Connector) waitForRoom(p *vclock.Proc) {
+	start := procNow(p)
+	stalled := false
 	for {
 		c.mu.Lock()
 		// Prune finished tasks from the front.
@@ -313,10 +366,17 @@ func (c *Connector) waitForRoom(p *vclock.Proc) {
 		}
 		if len(c.inflight) < c.opts.MaxPending {
 			c.mu.Unlock()
+			if stalled {
+				c.mStallWait.Observe((procNow(p) - start).Seconds())
+			}
 			return
 		}
 		oldest := c.inflight[0]
 		c.mu.Unlock()
+		if !stalled {
+			stalled = true
+			c.mStalls.Add(1)
+		}
 		// Errors are observed by the task's owner (EventSet/Drain), not
 		// the backpressure path.
 		_ = oldest.Wait(p)

@@ -14,8 +14,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
+	"asyncio/internal/metrics"
 	"asyncio/internal/model"
 	"asyncio/internal/mpi"
 	"asyncio/internal/systems"
@@ -97,6 +99,11 @@ type Hooks struct {
 	Drain func(ctx *RankCtx) error
 	// Term closes files and shuts connectors down (nil to skip).
 	Term func(ctx *RankCtx) error
+	// Observe, when non-nil, runs on rank 0 right after each epoch's
+	// record is committed, with the epoch's measurements. Experiments
+	// use it to assert on mid-run metrics (ctx.Sys.Metrics) while the
+	// simulation is still at that virtual instant.
+	Observe func(ctx *RankCtx, iter int, rec trace.Record)
 }
 
 // EpochReport pairs an epoch's measurements with the model's prediction
@@ -112,6 +119,29 @@ type Report struct {
 	Run       trace.RunResult
 	Epochs    []EpochReport
 	Estimator *model.Estimator
+	// Spans holds each rank's root trace span, indexed by rank.
+	Spans []*trace.Span
+	// Metrics is the system registry the run recorded into.
+	Metrics *metrics.Registry
+}
+
+// runObserver, when set, receives every completed Report. Command-line
+// tools that cannot reach into experiment internals (cmd/asyncio-bench
+// constructs systems deep inside sweep helpers) register one to collect
+// per-run observability data. Runs execute sequentially per process.
+var (
+	runObserverMu sync.Mutex
+	runObserver   func(*Report)
+)
+
+// SetRunObserver installs fn (nil to clear), returning the previous
+// observer.
+func SetRunObserver(fn func(*Report)) func(*Report) {
+	runObserverMu.Lock()
+	defer runObserverMu.Unlock()
+	prev := runObserver
+	runObserver = fn
+	return prev
 }
 
 // Run executes the iterative application on sys. It spawns cfg.Ranks MPI
@@ -149,8 +179,12 @@ func Run(sys *systems.System, cfg Config, hooks Hooks) (*Report, error) {
 			Nodes:    (ranks + sys.RanksPerNode - 1) / sys.RanksPerNode,
 		},
 		Estimator: est,
+		Spans:     make([]*trace.Span, ranks),
+		Metrics:   sys.Metrics,
 	}
-	world := mpi.Run(sys.Clk, ranks, mpi.DefaultCosts(), func(c *mpi.Comm) {
+	costs := mpi.DefaultCosts()
+	costs.Metrics = sys.Metrics
+	world := mpi.Run(sys.Clk, ranks, costs, func(c *mpi.Comm) {
 		runRank(c, sys, cfg, hooks, ctl, rep)
 	})
 	werr := sys.Clk.Wait()
@@ -162,6 +196,12 @@ func Run(sys *systems.System, cfg Config, hooks Hooks) (*Report, error) {
 	}
 	if werr != nil {
 		return nil, werr
+	}
+	runObserverMu.Lock()
+	obs := runObserver
+	runObserverMu.Unlock()
+	if obs != nil {
+		obs(rep)
 	}
 	return rep, nil
 }
@@ -216,6 +256,8 @@ func runRank(c *mpi.Comm, sys *systems.System, cfg Config, hooks Hooks, ctl *con
 		Comm: c, P: p, Sys: sys, Rank: c.Rank(),
 		Span: trace.NewSpan(fmt.Sprintf("rank%d", c.Rank())),
 	}
+	// Distinct indices per rank, so no lock is needed.
+	rep.Spans[c.Rank()] = ctx.Span
 	fail := func(err error) { c.Abort(err) }
 
 	initStart := p.Now()
@@ -275,7 +317,10 @@ func runRank(c *mpi.Comm, sys *systems.System, cfg Config, hooks Hooks, ctl *con
 		lastBytes = totalBytes
 
 		if c.Rank() == 0 {
-			recordEpoch(ctl, rep, iter, mode, c.Size(), totalBytes, ioTime, maxComp, est, estOK)
+			rec := recordEpoch(ctl, rep, iter, mode, c.Size(), totalBytes, ioTime, maxComp, est, estOK)
+			if hooks.Observe != nil {
+				hooks.Observe(ctx, iter, rec)
+			}
 		}
 	}
 
@@ -302,9 +347,9 @@ func runRank(c *mpi.Comm, sys *systems.System, cfg Config, hooks Hooks, ctl *con
 	}
 }
 
-// recordEpoch runs on rank 0 only.
+// recordEpoch runs on rank 0 only and returns the committed record.
 func recordEpoch(ctl *controller, rep *Report, iter int, mode trace.Mode, ranks int,
-	bytes int64, ioTime, compTime time.Duration, est model.EpochEstimate, estOK bool) {
+	bytes int64, ioTime, compTime time.Duration, est model.EpochEstimate, estOK bool) trace.Record {
 	rec := trace.Record{
 		Epoch:    iter,
 		Mode:     mode,
@@ -323,4 +368,5 @@ func recordEpoch(ctl *controller, rep *Report, iter int, mode trace.Mode, ranks 
 	}
 	rep.Run.Records = append(rep.Run.Records, rec)
 	rep.Epochs = append(rep.Epochs, EpochReport{Record: rec, Est: est, EstOK: estOK})
+	return rec
 }

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"asyncio/internal/core"
+	"asyncio/internal/metrics"
+	"asyncio/internal/perfetto"
+	"asyncio/internal/systems"
+	"asyncio/internal/vclock"
+	"asyncio/internal/workloads/vpicio"
+)
+
+// asyncObservedRun executes a small async VPIC-IO run with series
+// recording on and returns the report.
+func asyncObservedRun(t *testing.T) *core.Report {
+	t.Helper()
+	clk := vclock.New()
+	sys := systems.Summit(clk, 1) // 6 ranks
+	sys.Metrics.EnableSeries()
+	rep, _, err := vpicio.Run(sys, vpicio.Config{
+		Steps:            2,
+		ParticlesPerRank: 1 << 16,
+		ComputeTime:      time.Second,
+		Mode:             core.ForceAsync,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics == nil {
+		t.Fatal("report carries no metrics registry")
+	}
+	return rep
+}
+
+// TestAsyncQueueDepthOverlapsThenDrains is the acceptance assertion for
+// the observability layer: during an async run the background op queue
+// is observably non-empty (that is the overlap the paper measures), and
+// after the final drain it is exactly empty.
+func TestAsyncQueueDepthOverlapsThenDrains(t *testing.T) {
+	rep := asyncObservedRun(t)
+	g := rep.Metrics.FindGauge("asyncvol.queue_depth")
+	if g == nil {
+		t.Fatalf("asyncvol.queue_depth not registered (have %v)", rep.Metrics.Names())
+	}
+	series := g.Series()
+	if len(series) == 0 {
+		t.Fatal("queue depth recorded no change points")
+	}
+	var peak float64
+	for _, s := range series {
+		if s.V > peak {
+			peak = s.V
+		}
+	}
+	if peak <= 0 {
+		t.Fatalf("queue depth never positive during async run: %v", series)
+	}
+	if last := series[len(series)-1]; last.V != 0 {
+		t.Fatalf("queue depth final sample = %+v, want 0 after drain", last)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("queue depth = %v after run, want 0", g.Value())
+	}
+	if enq := rep.Metrics.FindCounter("asyncvol.ops_enqueued"); enq == nil || enq.Value() == 0 {
+		t.Fatal("no ops were enqueued on the background streams")
+	}
+	if dw := rep.Metrics.FindHistogram("asyncvol.drain_wait_seconds"); dw == nil || dw.Count() == 0 {
+		t.Fatal("drain waits were not observed")
+	}
+}
+
+// TestPerfettoExportHasDistinctTracks validates the exported JSON: it
+// parses, and rank, background-stream, and PFS-target rows all exist as
+// separate thread tracks.
+func TestPerfettoExportHasDistinctTracks(t *testing.T) {
+	rep := asyncObservedRun(t)
+	var buf bytes.Buffer
+	if err := perfetto.Write(&buf, rep.Spans, rep.Metrics); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	tracks := map[int]map[string]bool{}
+	var counterSamples int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			if tracks[ev.Pid] == nil {
+				tracks[ev.Pid] = map[string]bool{}
+			}
+			tracks[ev.Pid][ev.Args["name"].(string)] = true
+		}
+		if ev.Ph == "C" {
+			counterSamples++
+		}
+	}
+	if n := len(tracks[1]); n != 6 {
+		t.Fatalf("rank tracks = %d, want 6: %v", n, tracks[1])
+	}
+	if !tracks[1]["rank0"] || !tracks[1]["rank5"] {
+		t.Fatalf("rank rows missing: %v", tracks[1])
+	}
+	if !tracks[2]["stream:asyncvol:rank0"] {
+		t.Fatalf("background stream rows missing: %v", tracks[2])
+	}
+	if len(tracks[4]) == 0 {
+		t.Fatal("no PFS target track")
+	}
+	if counterSamples == 0 {
+		t.Fatal("no metric counter samples exported")
+	}
+}
+
+// TestObservabilityOutputsAreDeterministic runs the same seed twice and
+// requires byte-identical trace JSON and metrics CSV — goroutine
+// scheduling must not leak into the exports.
+func TestObservabilityOutputsAreDeterministic(t *testing.T) {
+	render := func() (string, string) {
+		rep := asyncObservedRun(t)
+		var j, c bytes.Buffer
+		if err := perfetto.Write(&j, rep.Spans, rep.Metrics); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Metrics.WriteCSV(&c, "obs"); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+	j1, c1 := render()
+	j2, c2 := render()
+	if j1 != j2 {
+		t.Error("trace JSON differs between identical runs")
+	}
+	if c1 != c2 {
+		t.Error("metrics CSV differs between identical runs")
+	}
+}
+
+// TestRunObserverCollectsReports covers the hook asyncio-bench uses to
+// reach registries constructed inside experiment sweeps.
+func TestRunObserverCollectsReports(t *testing.T) {
+	prevDefault := metrics.SetSeriesDefault(true)
+	defer metrics.SetSeriesDefault(prevDefault)
+	var got []*core.Report
+	prev := core.SetRunObserver(func(rep *core.Report) { got = append(got, rep) })
+	defer core.SetRunObserver(prev)
+
+	clk := vclock.New()
+	sys := systems.Summit(clk, 1)
+	rep, _, err := vpicio.Run(sys, vpicio.Config{
+		Steps:            1,
+		ParticlesPerRank: 1 << 14,
+		ComputeTime:      time.Second,
+		Mode:             core.ForceAsync,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != rep {
+		t.Fatalf("observer saw %d reports", len(got))
+	}
+	if !rep.Metrics.SeriesEnabled() {
+		t.Fatal("SetSeriesDefault did not propagate to the run's registry")
+	}
+	if len(rep.Spans) != 6 {
+		t.Fatalf("report has %d spans, want 6", len(rep.Spans))
+	}
+}

@@ -245,6 +245,7 @@ func (a *AggStage) merge(group []*Request, p *vclock.Proc) (*Request, error) {
 		m.Buf = buf
 	}
 	at := procNow(p)
+	track := procName(p)
 	for _, r := range group {
 		if m.Span == nil {
 			m.Span = r.Span
@@ -252,9 +253,9 @@ func (a *AggStage) merge(group []*Request, p *vclock.Proc) (*Request, error) {
 		if r.Tag != nil && m.Tag == nil {
 			m.Tag = r.Tag
 		}
-		r.Span.Event("ioreq:agg:absorbed", r.Bytes(), at)
+		r.Span.EventOn("ioreq:agg:absorbed", r.Bytes(), at, track)
 	}
-	m.Span.Event("ioreq:agg:merged", nbytes, at)
+	m.Span.EventOn("ioreq:agg:merged", nbytes, at, track)
 	a.absorbed.Add(int64(len(group) - 1))
 	return m, nil
 }

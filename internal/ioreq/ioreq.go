@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"asyncio/internal/hdf5"
+	"asyncio/internal/metrics"
 	"asyncio/internal/trace"
 	"asyncio/internal/vclock"
 )
@@ -145,6 +146,22 @@ type Stage interface {
 type Pipeline struct {
 	stages   []Stage
 	terminal func(*Request) error
+	metrics  *metrics.Registry
+}
+
+// WithMetrics instruments the pipeline on m and returns it (chainable
+// at construction; must not be called concurrently with Do/Flush).
+// Each stage records an inclusive latency histogram
+// "ioreq.stage.<name>.seconds" — the virtual time from entering the
+// stage to the request returning from everything downstream, measured
+// on the request's process. Requests reaching the terminal count into
+// "ioreq.requests"; merged requests additionally count into
+// "ioreq.agg.merged_requests" with their absorbed originals in
+// "ioreq.agg.merged_sources". A nil registry leaves the pipeline
+// unmetered.
+func (pl *Pipeline) WithMetrics(m *metrics.Registry) *Pipeline {
+	pl.metrics = m
+	return pl
 }
 
 // New returns the standard pipeline — validate → resolve → extra… →
@@ -184,11 +201,35 @@ func (pl *Pipeline) Flush(p *vclock.Proc) error {
 // index i (len(stages) = the terminal).
 func (pl *Pipeline) nextFrom(i int) func(*Request) error {
 	if i >= len(pl.stages) {
-		return pl.terminal
+		return pl.dispatch
 	}
+	st := pl.stages[i]
+	if pl.metrics == nil {
+		return func(req *Request) error {
+			return st.Process(req, pl.nextFrom(i+1))
+		}
+	}
+	hist := pl.metrics.Histogram("ioreq.stage." + st.Name() + ".seconds")
 	return func(req *Request) error {
-		return pl.stages[i].Process(req, pl.nextFrom(i+1))
+		start := procNow(req.Proc)
+		err := st.Process(req, pl.nextFrom(i+1))
+		hist.Observe((procNow(req.Proc) - start).Seconds())
+		return err
 	}
+}
+
+// dispatch invokes the terminal, counting the requests that actually
+// leave the pipeline (a buffered aggregation write does not reach here
+// until its chain flushes).
+func (pl *Pipeline) dispatch(req *Request) error {
+	if m := pl.metrics; m != nil {
+		m.Counter("ioreq.requests").Add(1)
+		if n := len(req.Sources); n > 0 {
+			m.Counter("ioreq.agg.merged_requests").Add(1)
+			m.Counter("ioreq.agg.merged_sources").Add(int64(n))
+		}
+	}
+	return pl.terminal(req)
 }
 
 // Stages returns the pipeline's stage names, in order.

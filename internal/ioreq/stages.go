@@ -96,3 +96,11 @@ func procNow(p *vclock.Proc) time.Duration {
 	}
 	return p.Now()
 }
+
+// procName returns p's process name, tolerating nil.
+func procName(p *vclock.Proc) string {
+	if p == nil {
+		return ""
+	}
+	return p.Name()
+}

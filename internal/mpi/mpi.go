@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"asyncio/internal/metrics"
 	"asyncio/internal/vclock"
 )
 
@@ -26,6 +27,13 @@ type Costs struct {
 	// CollectiveLatency is charged to every rank per collective, scaled
 	// by ceil(log2(size)) hops.
 	CollectiveLatency time.Duration
+	// Metrics, when non-nil, records collective traffic: every rank
+	// observes its own blocking time per collective into
+	// "mpi.collective_wait_seconds" (the last-arriving rank observes
+	// zero, so the distribution captures the skew barriers absorb), and
+	// "mpi.collectives" counts rank-entries. Sub-communicators from
+	// Split inherit the registry.
+	Metrics *metrics.Registry
 }
 
 // DefaultCosts are small but nonzero, so collectives are visible in
@@ -204,12 +212,17 @@ func collective[R any](c *Comm, contrib any, compute func(data []any) R) R {
 		delete(w.colls, key)
 	}
 	w.mu.Unlock()
+	enter := c.p.Now()
 	if last {
 		slot.result = compute(slot.data)
 		slot.ev.Fire()
 	} else {
 		slot.ev.Wait(c.p)
 		w.checkAborted()
+	}
+	if m := w.costs.Metrics; m != nil {
+		m.Counter("mpi.collectives").Add(1)
+		m.Histogram("mpi.collective_wait_seconds").Observe((c.p.Now() - enter).Seconds())
 	}
 	c.p.Sleep(w.collLatency())
 	return slot.result.(R)

@@ -1,0 +1,292 @@
+// Package perfetto exports a run's observability data — trace.Span
+// trees and metrics series — as Chrome trace-event JSON, the format
+// ui.perfetto.dev and chrome://tracing open directly.
+//
+// The timeline is organized into process groups ("pid" in the format's
+// vocabulary), one per execution domain of the simulator:
+//
+//	pid 1  ranks               one thread row per MPI rank
+//	pid 2  background streams  one row per asyncvol background stream
+//	pid 3  other               events from unnamed/auxiliary contexts
+//	pid 4  pfs targets         storage-side copies of pfs:* transfer
+//	                           events, one row per target
+//	pid 5  metrics             counter tracks from the registry's series
+//
+// Span events carry a Track (the vclock process that recorded them);
+// events without one are attributed to their root span's name, which
+// for core runs is the issuing rank. All output is deterministic: rows
+// and events are sorted, and virtual timestamps do not depend on
+// goroutine scheduling.
+package perfetto
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"asyncio/internal/metrics"
+	"asyncio/internal/trace"
+)
+
+// Process-group ids.
+const (
+	pidRanks = iota + 1
+	pidStreams
+	pidOther
+	pidPFS
+	pidMetrics
+)
+
+var pidNames = map[int]string{
+	pidRanks:   "ranks",
+	pidStreams: "background streams",
+	pidOther:   "other",
+	pidPFS:     "pfs targets",
+	pidMetrics: "metrics",
+}
+
+// event is one trace-event object. Field order here fixes the JSON
+// field order, part of the determinism contract.
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// usec converts virtual time to the format's microsecond timestamps.
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// pidFor classifies a track name into its process group.
+func pidFor(track string) int {
+	switch {
+	case strings.HasPrefix(track, "rank"):
+		return pidRanks
+	case strings.HasPrefix(track, "stream:"):
+		return pidStreams
+	default:
+		return pidOther
+	}
+}
+
+// pfsTarget extracts the target name from a "pfs:<target>:<op>" event
+// name ("" when the event is not a PFS transfer).
+func pfsTarget(name string) string {
+	rest, ok := strings.CutPrefix(name, "pfs:")
+	if !ok {
+		return ""
+	}
+	if i := strings.IndexByte(rest, ':'); i >= 0 {
+		return rest[:i]
+	}
+	return rest
+}
+
+// flatEvent is a span event joined with its resolved track and span.
+type flatEvent struct {
+	trace.SpanEvent
+	track string
+	cat   string
+}
+
+// flatten walks a span tree depth-first, resolving each event's track.
+func flatten(sp *trace.Span, root string, out *[]flatEvent) {
+	if sp == nil {
+		return
+	}
+	for _, ev := range sp.Events() {
+		track := ev.Track
+		if track == "" {
+			track = root
+		}
+		*out = append(*out, flatEvent{SpanEvent: ev, track: track, cat: sp.Name()})
+	}
+	for _, c := range sp.Children() {
+		flatten(c, root, out)
+	}
+}
+
+// Write renders spans and the registry's counter/gauge series as a
+// trace-event JSON document. Either argument may be nil/empty; the
+// output is always a valid document.
+func Write(w io.Writer, spans []*trace.Span, reg *metrics.Registry) error {
+	var flat []flatEvent
+	for _, sp := range spans {
+		flatten(sp, sp.Name(), &flat)
+	}
+
+	// Assign thread rows: tids are per-pid ordinals of the sorted track
+	// names, so row order in the viewer matches rank/stream order and is
+	// independent of event arrival.
+	trackSet := make(map[int]map[string]bool)
+	addTrack := func(pid int, name string) {
+		if trackSet[pid] == nil {
+			trackSet[pid] = make(map[string]bool)
+		}
+		trackSet[pid][name] = true
+	}
+	for _, fe := range flat {
+		addTrack(pidFor(fe.track), fe.track)
+		if tgt := pfsTarget(fe.Name); tgt != "" {
+			addTrack(pidPFS, tgt)
+		}
+	}
+	tids := make(map[int]map[string]int)
+	for pid, set := range trackSet {
+		names := make([]string, 0, len(set))
+		for n := range set {
+			names = append(names, n)
+		}
+		sort.Sort(trackOrder(names))
+		m := make(map[string]int, len(names))
+		for i, n := range names {
+			m[n] = i + 1
+		}
+		tids[pid] = m
+	}
+
+	var events []event
+	meta := func(pid, tid int, kind, name string) {
+		events = append(events, event{
+			Name: kind, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for pid := pidRanks; pid <= pidMetrics; pid++ {
+		if len(tids[pid]) == 0 && pid != pidMetrics {
+			continue
+		}
+		if pid == pidMetrics && (reg == nil || !reg.SeriesEnabled()) {
+			continue
+		}
+		meta(pid, 0, "process_name", pidNames[pid])
+		names := make([]string, 0, len(tids[pid]))
+		for n := range tids[pid] {
+			names = append(names, n)
+		}
+		sort.Sort(trackOrder(names))
+		for _, n := range names {
+			meta(pid, tids[pid][n], "thread_name", n)
+		}
+	}
+
+	for _, fe := range flat {
+		pid := pidFor(fe.track)
+		ev := event{
+			Name: fe.Name,
+			Ph:   "X",
+			Ts:   usec(fe.At),
+			Pid:  pid,
+			Tid:  tids[pid][fe.track],
+			Cat:  fe.cat,
+		}
+		dur := usec(fe.Dur)
+		ev.Dur = &dur
+		if fe.Bytes > 0 {
+			ev.Args = map[string]any{"bytes": fe.Bytes}
+		}
+		events = append(events, ev)
+		if tgt := pfsTarget(fe.Name); tgt != "" {
+			// Storage-side view: the same transfer on the target's row.
+			cp := ev
+			cp.Pid = pidPFS
+			cp.Tid = tids[pidPFS][tgt]
+			cp.Cat = fe.track
+			events = append(events, cp)
+		}
+	}
+
+	if reg != nil && reg.SeriesEnabled() {
+		counterTid := 0
+		for _, name := range reg.Names() {
+			var samples []metrics.Sample
+			if c := reg.FindCounter(name); c != nil {
+				samples = c.Series()
+			} else if g := reg.FindGauge(name); g != nil {
+				samples = g.Series()
+			}
+			if len(samples) == 0 {
+				continue
+			}
+			counterTid++
+			for _, s := range samples {
+				events = append(events, event{
+					Name: name,
+					Ph:   "C",
+					Ts:   usec(s.At),
+					Pid:  pidMetrics,
+					Tid:  counterTid,
+					Args: map[string]any{"value": s.V},
+				})
+			}
+		}
+	}
+
+	sortEvents(events)
+	doc := traceFile{TraceEvents: events, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// sortEvents orders the document deterministically: metadata first,
+// then by (pid, tid, ts, name).
+func sortEvents(events []event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		am, bm := a.Ph == "M", b.Ph == "M"
+		if am != bm {
+			return am
+		}
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		return a.Name < b.Name
+	})
+}
+
+// trackOrder sorts track names with numeric suffix awareness, so rank10
+// follows rank9 rather than rank1.
+type trackOrder []string
+
+func (t trackOrder) Len() int      { return len(t) }
+func (t trackOrder) Swap(i, j int) { t[i], t[j] = t[j], t[i] }
+func (t trackOrder) Less(i, j int) bool {
+	pi, ni, oki := splitNum(t[i])
+	pj, nj, okj := splitNum(t[j])
+	if oki && okj && pi == pj {
+		return ni < nj
+	}
+	return t[i] < t[j]
+}
+
+// splitNum splits a trailing decimal number off a name.
+func splitNum(s string) (prefix string, n int, ok bool) {
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	if i == len(s) {
+		return s, 0, false
+	}
+	for _, c := range s[i:] {
+		n = n*10 + int(c-'0')
+	}
+	return s[:i], n, true
+}

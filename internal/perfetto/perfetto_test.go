@@ -1,0 +1,190 @@
+package perfetto
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"asyncio/internal/metrics"
+	"asyncio/internal/trace"
+	"asyncio/internal/vclock"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// twoRankFixture builds the span trees and registry of a miniature
+// two-rank async run: each rank stages a write, the background stream
+// executes it against the PFS, and the queue-depth gauge tracks the
+// overlap. All timestamps are fixed so the fixture is deterministic.
+func twoRankFixture(t *testing.T) ([]*trace.Span, *metrics.Registry) {
+	t.Helper()
+	ms := time.Millisecond
+	spans := make([]*trace.Span, 2)
+	for r, name := range []string{"rank0", "rank1"} {
+		sp := trace.NewSpan(name)
+		ep := sp.Child("epoch0")
+		off := time.Duration(r) * ms
+		ep.EventOn("asyncvol:stage", 1<<20, off, name)
+		ep.EventDurOn("pfs:alpine:write", 1<<20, 10*ms+off, 5*ms, "stream:asyncvol:"+name)
+		ep.Event("epoch-commit", 0, 20*ms+off) // no track: lands on the root's row
+		spans[r] = sp
+	}
+
+	clk := vclock.New()
+	reg := metrics.NewRegistry(clk)
+	reg.EnableSeries()
+	depth := reg.Gauge("asyncvol.queue_depth")
+	ops := reg.Counter("asyncvol.ops_enqueued")
+	clk.Go("p", func(p *vclock.Proc) {
+		depth.Add(2)
+		ops.Add(2)
+		p.Sleep(15 * ms)
+		depth.Add(-2)
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Histograms have no series and must not produce counter tracks.
+	reg.Histogram("asyncvol.drain_wait_seconds").Observe(0.015)
+	return spans, reg
+}
+
+func TestGoldenTwoRankRun(t *testing.T) {
+	spans, reg := twoRankFixture(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, spans, reg); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "two_rank_run.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./internal/perfetto -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("output diverged from golden file:\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteIsDeterministic(t *testing.T) {
+	spans, reg := twoRankFixture(t)
+	var a, b bytes.Buffer
+	if err := Write(&a, spans, reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, spans, reg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two writes of the same data differ")
+	}
+}
+
+// decode parses the output back for structural assertions.
+func decode(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	return doc.TraceEvents
+}
+
+func TestTrackLayout(t *testing.T) {
+	spans, reg := twoRankFixture(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, spans, reg); err != nil {
+		t.Fatal(err)
+	}
+	events := decode(t, buf.Bytes())
+
+	// Collect thread_name metadata per pid.
+	threads := make(map[float64][]string)
+	for _, ev := range events {
+		if ev["ph"] == "M" && ev["name"] == "thread_name" {
+			pid := ev["pid"].(float64)
+			args := ev["args"].(map[string]any)
+			threads[pid] = append(threads[pid], args["name"].(string))
+		}
+	}
+	wantThreads := map[float64][]string{
+		1: {"rank0", "rank1"},
+		2: {"stream:asyncvol:rank0", "stream:asyncvol:rank1"},
+		4: {"alpine"},
+	}
+	for pid, want := range wantThreads {
+		got := threads[pid]
+		if len(got) != len(want) {
+			t.Fatalf("pid %v threads = %v, want %v", pid, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pid %v threads = %v, want %v", pid, got, want)
+			}
+		}
+	}
+
+	// The PFS transfer appears twice: on its stream row and on the
+	// target's storage-side row. Counter samples land on the metrics pid.
+	var streamCopies, pfsCopies, counterSamples int
+	for _, ev := range events {
+		switch {
+		case ev["name"] == "pfs:alpine:write" && ev["pid"].(float64) == 2:
+			streamCopies++
+		case ev["name"] == "pfs:alpine:write" && ev["pid"].(float64) == 4:
+			pfsCopies++
+		case ev["ph"] == "C":
+			counterSamples++
+			if ev["pid"].(float64) != 5 {
+				t.Fatalf("counter sample on pid %v", ev["pid"])
+			}
+		}
+	}
+	if streamCopies != 2 || pfsCopies != 2 {
+		t.Fatalf("pfs write copies: stream=%d pfs=%d, want 2 and 2", streamCopies, pfsCopies)
+	}
+	// queue_depth has 2 change points, ops_enqueued has 1; the
+	// sample-less histogram contributes none.
+	if counterSamples != 3 {
+		t.Fatalf("counter samples = %d, want 3", counterSamples)
+	}
+}
+
+func TestWriteEmptyInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if events := decode(t, buf.Bytes()); len(events) != 0 {
+		t.Fatalf("empty inputs produced %d events", len(events))
+	}
+}
+
+func TestTrackOrderNumericSuffix(t *testing.T) {
+	names := []string{"rank10", "rank9", "rank1", "stream", "rank2"}
+	want := []string{"rank1", "rank2", "rank9", "rank10", "stream"}
+	sort.Sort(trackOrder(names))
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("sorted = %v, want %v", names, want)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"asyncio/internal/flow"
+	"asyncio/internal/metrics"
 	"asyncio/internal/trace"
 	"asyncio/internal/vclock"
 )
@@ -59,6 +60,14 @@ type Target struct {
 	// backend (the unit the small-request penalty applies to).
 	writeOps, readOps, metaOps atomic.Int64
 	bytesWritten, bytesRead    atomic.Int64
+
+	// Registry instruments, nil until Instrument is called (all methods
+	// no-op on nil).
+	mInflight, mContention      *metrics.Gauge
+	mWriteOps, mReadOps         *metrics.Counter
+	mMetaOps                    *metrics.Counter
+	mBytesWritten, mBytesRead   *metrics.Counter
+	mPenaltyHits, mPenaltyBytes *metrics.Counter
 }
 
 // Stats is a snapshot of a target's charged traffic. Untimed operations
@@ -88,18 +97,59 @@ func NewTarget(clk *vclock.Clock, cfg TargetConfig) *Target {
 	}
 	t := &Target{cfg: cfg}
 	t.contention.Store(math.Float64bits(1))
-	t.srv = flow.NewServer(clk, func(n int) float64 {
-		// Smooth saturation: measured parallel-file-system curves bend
-		// gradually toward the backend peak rather than hitting a hard
-		// knee, which is also why the paper's linear-log fits work.
-		c := softmin(float64(n)*cfg.PerFlowBW, cfg.BackendPeak)
-		if cfg.PerFlowBW <= 0 {
-			c = cfg.BackendPeak
-		}
-		// Contention (shared fabric + storage) degrades the whole path.
-		return c * t.ContentionFactor()
-	})
+	t.srv = flow.NewServer(clk, t.capacityFor)
 	return t
+}
+
+// capacityFor is the processor-sharing capacity for n concurrent flows:
+// smooth saturation toward the backend peak (measured parallel-file-
+// system curves bend gradually rather than hitting a hard knee, which
+// is also why the paper's linear-log fits work), degraded by the run's
+// contention factor (shared fabric + storage affect the whole path).
+func (t *Target) capacityFor(n int) float64 {
+	c := softmin(float64(n)*t.cfg.PerFlowBW, t.cfg.BackendPeak)
+	if t.cfg.PerFlowBW <= 0 {
+		c = t.cfg.BackendPeak
+	}
+	return c * t.ContentionFactor()
+}
+
+// Instrument registers the target's activity on m under
+// "pfs.<name>.*": the in-flight flow count, the effective bandwidth
+// and utilization it implies (maintained as the in-flight gauge
+// changes), contention, dispatch/byte counters mirroring Stats, and
+// the small-request penalty (requests inflated by the efficiency ramp,
+// and the extra backend bytes they cost). Call once, before the run
+// starts.
+func (t *Target) Instrument(m *metrics.Registry) {
+	if t == nil || m == nil {
+		return
+	}
+	pre := "pfs." + t.cfg.Name + "."
+	m.Gauge(pre + "peak_bw_bytes_per_sec").Set(t.cfg.BackendPeak)
+	t.mContention = m.Gauge(pre + "contention_factor")
+	t.mContention.Set(t.ContentionFactor())
+	eff := m.Gauge(pre + "effective_bw_bytes_per_sec")
+	util := m.Gauge(pre + "utilization")
+	t.mInflight = m.Gauge(pre + "inflight")
+	// The effective-bandwidth and utilization series are derived from
+	// the in-flight count inside its update lock, so the derivation is
+	// deterministic even when concurrent flows start at one instant.
+	t.mInflight.OnChange(func(_ time.Duration, v float64) {
+		var bw float64
+		if v > 0 {
+			bw = t.capacityFor(int(v))
+		}
+		eff.Set(bw)
+		util.Set(bw / t.cfg.BackendPeak)
+	})
+	t.mWriteOps = m.Counter(pre + "write_ops")
+	t.mReadOps = m.Counter(pre + "read_ops")
+	t.mMetaOps = m.Counter(pre + "meta_ops")
+	t.mBytesWritten = m.Counter(pre + "bytes_written")
+	t.mBytesRead = m.Counter(pre + "bytes_read")
+	t.mPenaltyHits = m.Counter(pre + "small_request_penalty_hits")
+	t.mPenaltyBytes = m.Counter(pre + "small_request_penalty_bytes")
 }
 
 // Name returns the target name.
@@ -115,6 +165,7 @@ func (t *Target) SetContentionFactor(f float64) {
 		panic(fmt.Sprintf("pfs: contention factor %v outside (0,1]", f))
 	}
 	t.contention.Store(math.Float64bits(f))
+	t.mContention.Set(f)
 }
 
 // ContentionFactor returns the current backend capacity multiplier.
@@ -149,7 +200,13 @@ func (t *Target) transfer(p *vclock.Proc, b int64) bool {
 	}
 	p.Sleep(t.cfg.OpLatency)
 	served := int64(float64(b) / t.reqEff(b))
+	if served > b {
+		t.mPenaltyHits.Add(1)
+		t.mPenaltyBytes.Add(served - b)
+	}
+	t.mInflight.Add(1)
 	t.srv.TransferLimited(p, served, t.cfg.PerFlowBW*t.ContentionFactor())
+	t.mInflight.Add(-1)
 	return true
 }
 
@@ -158,6 +215,8 @@ func (t *Target) WriteData(p *vclock.Proc, nbytes int64) {
 	if t.transfer(p, nbytes) {
 		t.writeOps.Add(1)
 		t.bytesWritten.Add(nbytes)
+		t.mWriteOps.Add(1)
+		t.mBytesWritten.Add(nbytes)
 	}
 }
 
@@ -166,17 +225,22 @@ func (t *Target) ReadData(p *vclock.Proc, nbytes int64) {
 	if t.transfer(p, nbytes) {
 		t.readOps.Add(1)
 		t.bytesRead.Add(nbytes)
+		t.mReadOps.Add(1)
+		t.mBytesRead.Add(nbytes)
 	}
 }
 
 // WriteDataSpan implements hdf5.SpanDriver: identical charge to
-// WriteData, plus a span event covering the transfer in virtual time.
+// WriteData, plus a span event covering the transfer in virtual time,
+// attributed to the acting process's track.
 func (t *Target) WriteDataSpan(p *vclock.Proc, nbytes int64, sp *trace.Span) {
 	start := procNow(p)
 	if t.transfer(p, nbytes) {
 		t.writeOps.Add(1)
 		t.bytesWritten.Add(nbytes)
-		sp.EventDur("pfs:"+t.cfg.Name+":write", nbytes, start, p.Now()-start)
+		t.mWriteOps.Add(1)
+		t.mBytesWritten.Add(nbytes)
+		sp.EventDurOn("pfs:"+t.cfg.Name+":write", nbytes, start, p.Now()-start, p.Name())
 	}
 }
 
@@ -186,7 +250,9 @@ func (t *Target) ReadDataSpan(p *vclock.Proc, nbytes int64, sp *trace.Span) {
 	if t.transfer(p, nbytes) {
 		t.readOps.Add(1)
 		t.bytesRead.Add(nbytes)
-		sp.EventDur("pfs:"+t.cfg.Name+":read", nbytes, start, p.Now()-start)
+		t.mReadOps.Add(1)
+		t.mBytesRead.Add(nbytes)
+		sp.EventDurOn("pfs:"+t.cfg.Name+":read", nbytes, start, p.Now()-start, p.Name())
 	}
 }
 
@@ -197,6 +263,7 @@ func (t *Target) MetaOp(p *vclock.Proc) {
 	}
 	p.Sleep(t.cfg.MetaLatency)
 	t.metaOps.Add(1)
+	t.mMetaOps.Add(1)
 }
 
 // procNow returns p's virtual time, tolerating nil.

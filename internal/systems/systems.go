@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"asyncio/internal/memsys"
+	"asyncio/internal/metrics"
 	"asyncio/internal/pfs"
 	"asyncio/internal/vclock"
 )
@@ -41,6 +42,11 @@ type System struct {
 	BurstBuffer  *pfs.Target // nil when the machine has none
 	RanksPerNode int
 	MaxNodes     int // full-machine node count, for documentation
+	// Metrics is the run's observability registry on the system clock.
+	// Storage targets are pre-instrumented; core.Run wires the MPI
+	// layer and workloads wire connectors/engines through it. Call
+	// Metrics.EnableSeries() before the run to record time series.
+	Metrics *metrics.Registry
 }
 
 // Option tweaks a System during construction.
@@ -148,6 +154,9 @@ func apply(opts []Option) config {
 }
 
 func finish(s *System, cfg config) {
+	s.Metrics = metrics.NewRegistry(s.Clk)
+	s.PFS.Instrument(s.Metrics)
+	s.BurstBuffer.Instrument(s.Metrics)
 	if cfg.contention {
 		s.PFS.SetContentionFactor(pfs.ContentionForDay(cfg.contentionSeed, cfg.day))
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 
+	"asyncio/internal/metrics"
 	"asyncio/internal/vclock"
 )
 
@@ -23,6 +24,10 @@ type Engine struct {
 
 	mu      sync.Mutex
 	streams []*Stream
+
+	mTasks       *metrics.Counter
+	mTaskSeconds *metrics.Histogram
+	mQueued      *metrics.Gauge
 }
 
 // New returns an Engine on clk.
@@ -32,6 +37,32 @@ func New(clk *vclock.Clock) *Engine {
 
 // Clock returns the engine's clock.
 func (e *Engine) Clock() *vclock.Clock { return e.clk }
+
+// SetMetrics instruments the engine on m: "taskengine.queued" tracks
+// tasks waiting in stream FIFOs, "taskengine.tasks_completed" and
+// "taskengine.task_seconds" record executed tasks. Idempotent (the
+// first non-nil registry wins), so every rank's setup path may call it
+// with the shared registry.
+func (e *Engine) SetMetrics(m *metrics.Registry) {
+	if m == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.mTasks != nil {
+		return
+	}
+	e.mTasks = m.Counter("taskengine.tasks_completed")
+	e.mTaskSeconds = m.Histogram("taskengine.task_seconds")
+	e.mQueued = m.Gauge("taskengine.queued")
+}
+
+// instruments returns the engine's instruments (nil instruments no-op).
+func (e *Engine) instruments() (*metrics.Counter, *metrics.Histogram, *metrics.Gauge) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.mTasks, e.mTaskSeconds, e.mQueued
+}
 
 // NewStream spawns an execution stream: a dedicated process that runs
 // pushed tasks in FIFO order. The stream runs until Shutdown.
@@ -105,6 +136,8 @@ func (s *Stream) Push(name string, deps []*Task, fn func(p *vclock.Proc) error) 
 	s.queue = append(s.queue, t)
 	wake := s.wake
 	s.mu.Unlock()
+	_, _, queued := s.e.instruments()
+	queued.Add(1)
 	wake.Fire()
 	return t
 }
@@ -152,10 +185,15 @@ func (s *Stream) run(p *vclock.Proc) {
 		t := s.queue[0]
 		s.queue = s.queue[1:]
 		s.mu.Unlock()
+		tasks, seconds, queued := s.e.instruments()
+		queued.Add(-1)
 		for _, dep := range t.deps {
 			dep.done.Wait(p)
 		}
+		start := p.Now()
 		err := t.fn(p)
+		tasks.Add(1)
+		seconds.Observe((p.Now() - start).Seconds())
 		t.mu.Lock()
 		t.err = err
 		t.mu.Unlock()

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -9,12 +10,18 @@ import (
 
 // SpanEvent is one timestamped occurrence inside a Span. At is virtual
 // time (the acting process's clock when the event happened); Dur is the
-// virtual time the event covered (zero for instantaneous marks).
+// virtual time the event covered (zero for instantaneous marks). Track
+// names the execution context that recorded the event — conventionally
+// the vclock process name ("rank3", "stream:asyncvol:rank3") — so
+// exporters can place the same request's caller-side and
+// background-side events on different timeline rows. Empty means
+// "wherever the span lives".
 type SpanEvent struct {
 	Name  string
 	Bytes int64
 	At    time.Duration
 	Dur   time.Duration
+	Track string
 }
 
 // Span is a lightweight trace node for following one I/O request — or a
@@ -60,16 +67,26 @@ func (s *Span) Child(name string) *Span {
 
 // Event records an instantaneous event at virtual time at.
 func (s *Span) Event(name string, bytes int64, at time.Duration) {
-	s.EventDur(name, bytes, at, 0)
+	s.EventDurOn(name, bytes, at, 0, "")
 }
 
 // EventDur records an event covering [at, at+dur) in virtual time.
 func (s *Span) EventDur(name string, bytes int64, at, dur time.Duration) {
+	s.EventDurOn(name, bytes, at, dur, "")
+}
+
+// EventOn records an instantaneous event attributed to track.
+func (s *Span) EventOn(name string, bytes int64, at time.Duration, track string) {
+	s.EventDurOn(name, bytes, at, 0, track)
+}
+
+// EventDurOn records an event covering [at, at+dur) attributed to track.
+func (s *Span) EventDurOn(name string, bytes int64, at, dur time.Duration, track string) {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
-	s.events = append(s.events, SpanEvent{Name: name, Bytes: bytes, At: at, Dur: dur})
+	s.events = append(s.events, SpanEvent{Name: name, Bytes: bytes, At: at, Dur: dur, Track: track})
 	s.mu.Unlock()
 }
 
@@ -125,7 +142,17 @@ func (s *Span) String() string {
 func (s *Span) render(b *strings.Builder, depth int) {
 	indent := strings.Repeat("  ", depth)
 	fmt.Fprintf(b, "%s%s\n", indent, s.name)
-	for _, ev := range s.Events() {
+	// Concurrent recorders (issuing rank vs. background stream) append
+	// in nondeterministic order; render in virtual-time order, breaking
+	// ties by name so equal-time events are stable too.
+	events := s.Events()
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].At != events[j].At {
+			return events[i].At < events[j].At
+		}
+		return events[i].Name < events[j].Name
+	})
+	for _, ev := range events {
 		fmt.Fprintf(b, "%s  @%v", indent, ev.At)
 		if ev.Dur > 0 {
 			fmt.Fprintf(b, "+%v", ev.Dur)

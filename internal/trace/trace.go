@@ -7,6 +7,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"time"
 )
@@ -181,10 +182,19 @@ func parseRow(row []string) (Record, error) {
 	if r.Bytes, err = strconv.ParseInt(row[3], 10, 64); err != nil {
 		return r, err
 	}
+	if r.Bytes < 0 {
+		return r, fmt.Errorf("negative byte count %d", r.Bytes)
+	}
 	secs := make([]float64, 3)
 	for i := 0; i < 3; i++ {
 		if secs[i], err = strconv.ParseFloat(row[4+i], 64); err != nil {
 			return r, err
+		}
+		if math.IsNaN(secs[i]) || math.IsInf(secs[i], 0) {
+			return r, fmt.Errorf("column %s: non-finite duration %v", csvHeader[4+i], secs[i])
+		}
+		if secs[i] < 0 {
+			return r, fmt.Errorf("column %s: negative duration %v", csvHeader[4+i], secs[i])
 		}
 	}
 	r.IOTime = time.Duration(secs[0] * float64(time.Second))

@@ -69,10 +69,12 @@ func NewEnv(ctx *core.RankCtx, eng *taskengine.Engine, raw *hdf5.File, opts Opti
 	default:
 		copyModel = asyncvol.CopyFunc(ctx.Sys.MemcpyModel(ctx.Rank))
 	}
+	eng.SetMetrics(ctx.Sys.Metrics)
 	conn := asyncvol.New(eng, fmt.Sprintf("rank%d", ctx.Rank), asyncvol.Options{
 		Copy:        copyModel,
 		Materialize: opts.Materialize,
 		Aggregate:   opts.AsyncAggregate,
+		Metrics:     ctx.Sys.Metrics,
 	})
 	return &Env{
 		Rank:      ctx.Rank,

@@ -52,6 +52,10 @@ type Config struct {
 	// one storage dispatch (two-phase collective buffering). Set it to
 	// the rank count to merge each property's per-step writes.
 	AggWindow int
+	// Observe, when non-nil, runs on rank 0 after each epoch's record
+	// commits (see core.Hooks.Observe) — the hook experiments use to
+	// assert on mid-run metrics.
+	Observe func(ctx *core.RankCtx, iter int, rec trace.Record)
 }
 
 // Run executes the kernel on sys and returns the run report plus the
@@ -68,7 +72,8 @@ func Run(sys *systems.System, cfg Config) (*core.Report, *hdf5.File, error) {
 	}
 	cfg.Env.Materialize = cfg.Materialize
 	if cfg.AggWindow > 0 && cfg.Env.SyncPipeline == nil {
-		cfg.Env.SyncPipeline = ioreq.New(ioreq.NewAgg(ioreq.AggConfig{MaxRequests: cfg.AggWindow}))
+		cfg.Env.SyncPipeline = ioreq.New(ioreq.NewAgg(ioreq.AggConfig{MaxRequests: cfg.AggWindow})).
+			WithMetrics(sys.Metrics)
 	}
 
 	target := hdf5.Driver(sys.PFS)
@@ -106,8 +111,9 @@ func Run(sys *systems.System, cfg Config) (*core.Report, *hdf5.File, error) {
 			env := envs[ctx.Rank]
 			return writeStep(ctx, env, pool, cfg, iter, mode)
 		},
-		Drain: func(ctx *core.RankCtx) error { return envs[ctx.Rank].Drain(ctx.P) },
-		Term:  func(ctx *core.RankCtx) error { return envs[ctx.Rank].Term(ctx.P) },
+		Drain:   func(ctx *core.RankCtx) error { return envs[ctx.Rank].Drain(ctx.P) },
+		Term:    func(ctx *core.RankCtx) error { return envs[ctx.Rank].Term(ctx.P) },
+		Observe: cfg.Observe,
 	}
 	rep, err := core.Run(sys, core.Config{
 		Workload:   "vpic-io",
