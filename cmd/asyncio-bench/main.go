@@ -35,8 +35,13 @@ func main() {
 		timings    = flag.Bool("timings", false, "print wall-clock time per experiment")
 		traceJSON  = flag.String("trace-json", "", "write the last run's Chrome trace-event JSON (Perfetto) to this path")
 		metricsCSV = flag.String("metrics", "", "write every run's metrics registry (labeled, concatenated CSV) to this path")
+		faultSpec  = flag.String("faults", "", "fault-injection spec applied to every run (see internal/faults)")
 	)
 	flag.Parse()
+
+	if err := experiments.SetDefaultFaults(*faultSpec); err != nil {
+		fatalf("-faults: %v", err)
+	}
 
 	reg := experiments.Registry()
 	ids := make([]string, 0, len(reg))

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"asyncio/internal/core"
+	"asyncio/internal/faults"
 	"asyncio/internal/perfetto"
 	"asyncio/internal/systems"
 	"asyncio/internal/trace"
@@ -43,6 +44,7 @@ func main() {
 		out        = flag.String("o", "", "output CSV path (default stdout)")
 		traceJSON  = flag.String("trace-json", "", "write Chrome trace-event JSON (Perfetto) to this path")
 		metricsCSV = flag.String("metrics", "", "write the metrics registry as CSV to this path")
+		faultSpec  = flag.String("faults", "", "fault-injection spec for the run (see internal/faults)")
 	)
 	flag.Parse()
 
@@ -57,13 +59,21 @@ func main() {
 	default:
 		fatalf("unknown mode %q", *modeStr)
 	}
+	var sysOpts []systems.Option
+	if *faultSpec != "" {
+		in, err := faults.New(*faultSpec)
+		if err != nil {
+			fatalf("-faults: %v", err)
+		}
+		sysOpts = append(sysOpts, systems.WithFaults(in))
+	}
 	clk := vclock.New()
 	var sys *systems.System
 	switch *system {
 	case "summit":
-		sys = systems.Summit(clk, *nodes)
+		sys = systems.Summit(clk, *nodes, sysOpts...)
 	case "cori":
-		sys = systems.CoriHaswell(clk, *nodes)
+		sys = systems.CoriHaswell(clk, *nodes, sysOpts...)
 	default:
 		fatalf("unknown system %q", *system)
 	}

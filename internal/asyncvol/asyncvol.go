@@ -48,6 +48,21 @@ type CopyFunc func(p *vclock.Proc, nbytes int64)
 // Copy implements CopyModel.
 func (f CopyFunc) Copy(p *vclock.Proc, nbytes int64) { f(p, nbytes) }
 
+// FaultModel perturbs the connector's asynchronous machinery; it is the
+// asyncvol half of a fault injector (internal/faults implements it).
+type FaultModel interface {
+	// BackgroundStall returns the extra delay a background task picked
+	// up at virtual time now must sleep before running (an Argobots
+	// thread descheduled under memory pressure); 0 means none.
+	BackgroundStall(now time.Duration) time.Duration
+	// StagingCapacity bounds outstanding staged write bytes per
+	// connector; a staging request that would exceed it degrades to a
+	// synchronous in-place dispatch. 0 means unbounded.
+	StagingCapacity() int64
+	// StagingExhausted records one such degradation.
+	StagingExhausted()
+}
+
 // Options configures a Connector.
 type Options struct {
 	// Copy charges the transactional overhead per staged operation. Nil
@@ -79,6 +94,14 @@ type Options struct {
 	// shared by every connector on the registry, so the series aggregate
 	// across ranks.
 	Metrics *metrics.Registry
+	// Faults, when non-nil, injects background-stream stalls and
+	// staging-buffer exhaustion (see FaultModel).
+	Faults FaultModel
+	// ExecStages are extra middleware stages (e.g. the fault-injection
+	// retry stage) inserted into the background execution pipeline
+	// between resolve and execute. Stages are shared across connectors
+	// and must be stateless or concurrency-safe.
+	ExecStages []ioreq.Stage
 }
 
 // Connector is the asynchronous connector for one simulated process.
@@ -99,15 +122,34 @@ type Connector struct {
 	last     *taskengine.Task
 	inflight []*taskengine.Task // submission order; pruned as tasks finish
 	cache    map[cacheKey]*cacheEntry
+	fetching map[cacheKey]bool // prefetch reservations (see Prefetch)
+
+	// Staged-byte accounting: bytes held by write-staging buffers from
+	// submission until the background dispatch finishes (successfully or
+	// not). Releases become visible to capacity checks only at a
+	// strictly later virtual instant, so a check racing a same-instant
+	// completion is deterministic (it sees the bytes as still held).
+	// Prefetch staging buffers are not counted — they live until
+	// consumed by a Read, which is the caller's business, not queue
+	// pressure.
+	staged      map[*ioreq.Request]int64
+	released    []releaseRec
+	outstanding int64 // sum over staged + not-yet-folded releases
 
 	// Instruments (nil when Options.Metrics is nil; methods no-op).
-	mQueueDepth  *metrics.Gauge
-	mEnqueued    *metrics.Counter
-	mStagedBytes *metrics.Counter
-	mDrains      *metrics.Counter
-	mDrainWait   *metrics.Histogram
-	mStalls      *metrics.Counter
-	mStallWait   *metrics.Histogram
+	mQueueDepth        *metrics.Gauge
+	mEnqueued          *metrics.Counter
+	mStagedBytes       *metrics.Counter
+	mStagedOutstanding *metrics.Gauge
+	mDrains            *metrics.Counter
+	mDrainWait         *metrics.Histogram
+	mStalls            *metrics.Counter
+	mStallWait         *metrics.Histogram
+}
+
+type releaseRec struct {
+	at time.Duration
+	n  int64
 }
 
 type cacheKey struct {
@@ -123,15 +165,18 @@ type cacheEntry struct {
 // New creates a connector with its own background stream on eng.
 func New(eng *taskengine.Engine, name string, opts Options) *Connector {
 	c := &Connector{
-		name:  name,
-		eng:   eng,
-		opts:  opts,
-		cache: make(map[cacheKey]*cacheEntry),
+		name:     name,
+		eng:      eng,
+		opts:     opts,
+		cache:    make(map[cacheKey]*cacheEntry),
+		fetching: make(map[cacheKey]bool),
+		staged:   make(map[*ioreq.Request]int64),
 	}
 	if m := opts.Metrics; m != nil {
 		c.mQueueDepth = m.Gauge("asyncvol.queue_depth")
 		c.mEnqueued = m.Counter("asyncvol.ops_enqueued")
 		c.mStagedBytes = m.Counter("asyncvol.staged_bytes")
+		c.mStagedOutstanding = m.Gauge("asyncvol.staged_outstanding_bytes")
 		c.mDrains = m.Counter("asyncvol.drains")
 		c.mDrainWait = m.Histogram("asyncvol.drain_wait_seconds")
 		c.mStalls = m.Counter("asyncvol.backpressure_stalls")
@@ -144,7 +189,7 @@ func New(eng *taskengine.Engine, name string, opts Options) *Connector {
 		stages = append(stages, c.agg)
 	}
 	c.inline = ioreq.NewCustom(c.enqueue, stages...).WithMetrics(opts.Metrics)
-	c.exec = ioreq.New().WithMetrics(opts.Metrics)
+	c.exec = ioreq.New(opts.ExecStages...).WithMetrics(opts.Metrics)
 	return c
 }
 
@@ -201,6 +246,17 @@ func (stagingStage) Name() string { return "stage-copy" }
 func (s stagingStage) Process(req *ioreq.Request, next func(*ioreq.Request) error) error {
 	c := s.c
 	n := req.Bytes()
+	if fm := c.opts.Faults; fm != nil && n > 0 {
+		if budget := fm.StagingCapacity(); budget > 0 && c.stagedOutstandingAt(procNow(req.Proc))+n > budget {
+			// Staging buffers are exhausted: degrade this op to a
+			// synchronous in-place dispatch on the caller — no staging
+			// copy, no background task, completion before return (so
+			// event sets have nothing to track).
+			fm.StagingExhausted()
+			req.Span.EventOn("asyncvol:staging-exhausted", n, procNow(req.Proc), procName(req.Proc))
+			return c.exec.Do(req)
+		}
+	}
 	if req.Buf != nil && c.opts.Materialize {
 		req.Buf = append([]byte(nil), req.Buf...)
 	}
@@ -208,11 +264,70 @@ func (s stagingStage) Process(req *ioreq.Request, next func(*ioreq.Request) erro
 		c.opts.Copy.Copy(req.Proc, n)
 	}
 	c.mStagedBytes.Add(n)
+	c.recordStaged(req, n)
 	req.Span.EventOn("asyncvol:stage", n, procNow(req.Proc), procName(req.Proc))
 	return next(req)
 }
 
 func (stagingStage) Flush(*vclock.Proc, func(*ioreq.Request) error) error { return nil }
+
+// recordStaged notes n staged bytes held by req.
+func (c *Connector) recordStaged(req *ioreq.Request, n int64) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.staged[req] = n
+	c.outstanding += n
+	c.mu.Unlock()
+	c.mStagedOutstanding.Add(float64(n))
+}
+
+// releaseStaged frees the staging bytes of req and its aggregation
+// sources at virtual time at, whether the dispatch succeeded or failed
+// — a dropped op must not leak its buffer accounting. Idempotent per
+// request. Capacity checks observe the release only strictly after at
+// (see stagedOutstandingAt).
+func (c *Connector) releaseStaged(at time.Duration, req *ioreq.Request) {
+	var freed int64
+	c.mu.Lock()
+	rel := func(r *ioreq.Request) {
+		if n, ok := c.staged[r]; ok {
+			delete(c.staged, r)
+			freed += n
+			c.released = append(c.released, releaseRec{at: at, n: n})
+		}
+	}
+	rel(req)
+	for _, src := range req.Sources {
+		rel(src)
+	}
+	c.mu.Unlock()
+	if freed != 0 {
+		c.mStagedOutstanding.Add(-float64(freed))
+	}
+}
+
+// stagedOutstandingAt folds releases that happened strictly before now
+// and returns the staged bytes a capacity check at now observes. The
+// strict inequality makes the check independent of whether a
+// same-instant background completion has already run: either way the
+// bytes still count, so goroutine interleaving cannot change the
+// decision.
+func (c *Connector) stagedOutstandingAt(now time.Duration) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.released[:0]
+	for _, r := range c.released {
+		if r.at < now {
+			c.outstanding -= r.n
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	c.released = kept
+	return c.outstanding
+}
 
 // enqueue is the inline pipeline's terminal: one request becomes one
 // background task running the exec pipeline. The task is added to the
@@ -222,13 +337,17 @@ func (stagingStage) Flush(*vclock.Proc, func(*ioreq.Request) error) error { retu
 func (c *Connector) enqueue(req *ioreq.Request) error {
 	sets, err := eventSets(req)
 	if err != nil {
+		// The op dies here; its staging bytes must not stay accounted.
+		c.releaseStaged(procNow(req.Proc), req)
 		return err
 	}
 	t := c.push(req.Proc, taskName(req.Op), func(p *vclock.Proc) error {
 		// Charge the transfer to the background stream's process: the
 		// overlap with application compute the paper measures.
 		req.Proc = p
-		return c.exec.Do(req)
+		err := c.exec.Do(req)
+		c.releaseStaged(p.Now(), req)
+		return err
 	})
 	for _, es := range sets {
 		es.add(t)
@@ -332,13 +451,16 @@ func (c *Connector) push(p *vclock.Proc, name string, fn func(p *vclock.Proc) er
 	// decrement runs on the stream at completion time.
 	c.mEnqueued.Add(1)
 	c.mQueueDepth.Add(1)
-	run := fn
-	if c.mQueueDepth != nil {
-		run = func(p *vclock.Proc) error {
-			err := fn(p)
-			c.mQueueDepth.Add(-1)
-			return err
+	inner := fn
+	run := func(p *vclock.Proc) error {
+		if fm := c.opts.Faults; fm != nil {
+			if d := fm.BackgroundStall(p.Now()); d > 0 {
+				p.Sleep(d)
+			}
 		}
+		err := inner(p)
+		c.mQueueDepth.Add(-1)
+		return err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -381,6 +503,19 @@ func (c *Connector) waitForRoom(p *vclock.Proc) {
 		// the backpressure path.
 		_ = oldest.Wait(p)
 	}
+}
+
+// StagedOutstanding returns the staged write bytes currently held by
+// in-flight operations (completed releases folded immediately; the
+// strict-visibility rule only applies to capacity checks).
+func (c *Connector) StagedOutstanding() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.outstanding
+	for _, r := range c.released {
+		n -= r.n
+	}
+	return n
 }
 
 // Pending returns the number of outstanding background operations
@@ -693,10 +828,15 @@ func (ad *asyncDataset) Prefetch(pr vol.Props, fspace *hdf5.Dataspace) error {
 		staging = make([]byte, nbytes)
 	}
 	c.mu.Lock()
-	if _, dup := c.cache[key]; dup {
+	if _, dup := c.cache[key]; dup || c.fetching[key] {
 		c.mu.Unlock()
 		return nil // already staged or in flight
 	}
+	// Reserve the key before dropping the lock: without this, two
+	// concurrent prefetches of the same selection both pass the dup
+	// check and the loser's staging buffer is stranded (it is neither
+	// cached nor ever released).
+	c.fetching[key] = true
 	c.mu.Unlock()
 	task := c.push(pr.Proc, "H5Dread:prefetch", func(p *vclock.Proc) error {
 		req := &ioreq.Request{Dataset: ad.raw, Space: sel, Proc: p, Span: pr.Span}
@@ -713,6 +853,7 @@ func (ad *asyncDataset) Prefetch(pr vol.Props, fspace *hdf5.Dataspace) error {
 		es.add(task)
 	}
 	c.mu.Lock()
+	delete(c.fetching, key)
 	c.cache[key] = &cacheEntry{task: task, buf: staging}
 	c.mu.Unlock()
 	return nil

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"asyncio/internal/faults"
 	"asyncio/internal/metrics"
 	"asyncio/internal/model"
 	"asyncio/internal/mpi"
@@ -67,6 +68,44 @@ type Config struct {
 	// progressively adds measurements from previous runs). A fresh one
 	// is created otherwise.
 	Estimator *model.Estimator
+	// Degrade enables graceful degradation. The zero value inherits the
+	// policy from the system's fault injector (none when no faults).
+	Degrade DegradePolicy
+}
+
+// DegradePolicy is the graceful-degradation state machine's
+// configuration: rank 0 watches the run's health at each epoch boundary
+// and demotes async→sync for subsequent epochs when it looks unhealthy,
+// re-promoting after a clean streak. Health signals (any non-zero
+// subset):
+//
+//   - the asyncvol drain-queue depth exceeds QueueWatermark — the
+//     background streams are falling behind and staging memory grows
+//     without bound;
+//   - the faults retry-exhaustion counter advanced this epoch — an op
+//     just failed for good;
+//   - an async epoch's measured I/O time exceeded OverheadSpike × the
+//     model's t_overhead estimate — the "async" path has stopped hiding
+//     anything.
+//
+// The checks read the shared metrics registry on rank 0 only, so an
+// enabled policy adds no collectives and a disabled one adds no work at
+// all.
+type DegradePolicy struct {
+	Enabled        bool
+	QueueWatermark float64 // 0 disables the queue-depth signal
+	OverheadSpike  float64 // 0 disables the spike signal
+	HealthyEpochs  int     // clean epochs before re-promotion; default 2
+}
+
+// ModeSwitch records one degradation decision.
+type ModeSwitch struct {
+	// Epoch is the first epoch the new policy applies to.
+	Epoch int
+	To    trace.Mode
+	At    time.Duration
+	// Reason is the health signal that tripped ("queue depth 12 > 4").
+	Reason string
 }
 
 // RankCtx is the per-rank execution context passed to every hook.
@@ -123,6 +162,9 @@ type Report struct {
 	Spans []*trace.Span
 	// Metrics is the system registry the run recorded into.
 	Metrics *metrics.Registry
+	// ModeSwitches lists graceful-degradation demotions/promotions in
+	// order (empty when the policy is off or never tripped).
+	ModeSwitches []ModeSwitch
 }
 
 // runObserver, when set, receives every completed Report. Command-line
@@ -169,7 +211,21 @@ func Run(sys *systems.System, cfg Config, hooks Hooks) (*Report, error) {
 	if est == nil {
 		est = model.NewEstimator()
 	}
-	ctl := &controller{mode: cfg.Mode, seed: cfg.SeedEpochs, est: est}
+	if !cfg.Degrade.Enabled && sys.Faults != nil {
+		cfg.Degrade = degradeFromInjector(sys.Faults)
+	}
+	if cfg.Degrade.HealthyEpochs <= 0 {
+		cfg.Degrade.HealthyEpochs = 2
+	}
+	ctl := &controller{mode: cfg.Mode, seed: cfg.SeedEpochs, est: est, degrade: cfg.Degrade}
+	if cfg.Degrade.Enabled && sys.Metrics != nil {
+		// Pay-for-use: the degradation series exist only when the policy
+		// does, so fault-free runs export byte-identical metrics.
+		ctl.mDegraded = sys.Metrics.Gauge("core.degraded")
+		ctl.mModeAsync = sys.Metrics.Gauge("core.mode_async")
+		ctl.mDemotions = sys.Metrics.Counter("core.demotions")
+		ctl.mPromotions = sys.Metrics.Counter("core.promotions")
+	}
 	rep := &Report{
 		Run: trace.RunResult{
 			System:   sys.Name,
@@ -213,15 +269,47 @@ func runModeLabel(m Mode) trace.Mode {
 	return trace.Sync
 }
 
+// degradeFromInjector maps a fault injector's degradation spec onto the
+// core policy.
+func degradeFromInjector(in *faults.Injector) DegradePolicy {
+	d := in.Degrade()
+	return DegradePolicy{
+		Enabled:        d.Enabled,
+		QueueWatermark: d.QueueWatermark,
+		OverheadSpike:  d.OverheadSpike,
+		HealthyEpochs:  d.HealthyEpochs,
+	}
+}
+
 // controller makes per-epoch mode decisions on rank 0.
 type controller struct {
 	mode Mode
 	seed int
 	est  *model.Estimator
+
+	// Degradation state (rank 0 only; no locking needed).
+	degrade       DegradePolicy
+	degraded      bool
+	healthy       int
+	lastExhausted int64
+
+	mDegraded   *metrics.Gauge
+	mModeAsync  *metrics.Gauge
+	mDemotions  *metrics.Counter
+	mPromotions *metrics.Counter
 }
 
 // choose returns the mode for the given epoch plus the estimate used.
+// While degraded, async decisions are demoted to sync.
 func (ctl *controller) choose(epoch int, bytes int64, ranks int) (trace.Mode, model.EpochEstimate, bool) {
+	mode, est, ok := ctl.chooseRaw(epoch, bytes, ranks)
+	if ctl.degraded && mode == trace.Async {
+		mode = trace.Sync
+	}
+	return mode, est, ok
+}
+
+func (ctl *controller) chooseRaw(epoch int, bytes int64, ranks int) (trace.Mode, model.EpochEstimate, bool) {
 	switch ctl.mode {
 	case ForceSync, ForceAsync:
 		// Forced runs still compute estimates (when possible) so
@@ -318,6 +406,7 @@ func runRank(c *mpi.Comm, sys *systems.System, cfg Config, hooks Hooks, ctl *con
 
 		if c.Rank() == 0 {
 			rec := recordEpoch(ctl, rep, iter, mode, c.Size(), totalBytes, ioTime, maxComp, est, estOK)
+			ctl.checkHealth(ctx, iter, rec, est, estOK, rep)
 			if hooks.Observe != nil {
 				hooks.Observe(ctx, iter, rec)
 			}
@@ -345,6 +434,81 @@ func runRank(c *mpi.Comm, sys *systems.System, cfg Config, hooks Hooks, ctl *con
 		rep.Run.InitTime = initTime
 		rep.Run.TermTime = termTime
 	}
+}
+
+// checkHealth runs the degradation state machine on rank 0 after each
+// epoch's record commits. It reads the shared metrics registry at the
+// epoch-boundary virtual instant (all ranks are between the post-IO
+// collectives and the next epoch's Bcast, so the values are
+// deterministic) and flips the controller between healthy and degraded.
+// Every switch is recorded on the report, the metrics series, and the
+// rank-0 span (a Perfetto instant).
+func (ctl *controller) checkHealth(ctx *RankCtx, iter int, rec trace.Record,
+	est model.EpochEstimate, estOK bool, rep *Report) {
+	if !ctl.degrade.Enabled {
+		return
+	}
+	now := ctx.P.Now()
+	ctl.mModeAsync.Set(boolGauge(rec.Mode == trace.Async))
+	unhealthy := false
+	reason := ""
+	if w := ctl.degrade.QueueWatermark; w > 0 && ctx.Sys.Metrics != nil {
+		if g := ctx.Sys.Metrics.FindGauge("asyncvol.queue_depth"); g != nil {
+			if v := g.Value(); v > w {
+				unhealthy = true
+				reason = fmt.Sprintf("queue depth %.0f > watermark %.0f", v, w)
+			}
+		}
+	}
+	if !unhealthy && ctx.Sys.Metrics != nil {
+		if c := ctx.Sys.Metrics.FindCounter(faults.MetricRetryExhausted); c != nil {
+			if v := c.Value(); v > ctl.lastExhausted {
+				unhealthy = true
+				reason = fmt.Sprintf("%d ops exhausted retries", v-ctl.lastExhausted)
+				ctl.lastExhausted = v
+			}
+		}
+	}
+	if s := ctl.degrade.OverheadSpike; !unhealthy && s > 0 && estOK &&
+		rec.Mode == trace.Async && est.Overhead > 0 &&
+		rec.IOTime > time.Duration(s*float64(est.Overhead)) {
+		unhealthy = true
+		reason = fmt.Sprintf("async io %s > %gx overhead estimate %s", rec.IOTime, s, est.Overhead)
+	}
+	switch {
+	case !ctl.degraded && unhealthy:
+		ctl.degraded = true
+		ctl.healthy = 0
+		ctl.mDegraded.Set(1)
+		ctl.mDemotions.Add(1)
+		ctx.Span.EventOn("core:demote("+reason+")", 0, now, ctx.P.Name())
+		rep.ModeSwitches = append(rep.ModeSwitches, ModeSwitch{
+			Epoch: iter + 1, To: trace.Sync, At: now, Reason: reason,
+		})
+	case ctl.degraded && unhealthy:
+		ctl.healthy = 0
+	case ctl.degraded && !unhealthy:
+		ctl.healthy++
+		if ctl.healthy >= ctl.degrade.HealthyEpochs {
+			ctl.degraded = false
+			ctl.healthy = 0
+			ctl.mDegraded.Set(0)
+			ctl.mPromotions.Add(1)
+			reason = fmt.Sprintf("%d healthy epochs", ctl.degrade.HealthyEpochs)
+			ctx.Span.EventOn("core:promote("+reason+")", 0, now, ctx.P.Name())
+			rep.ModeSwitches = append(rep.ModeSwitches, ModeSwitch{
+				Epoch: iter + 1, To: trace.Async, At: now, Reason: reason,
+			})
+		}
+	}
+}
+
+// boolGauge maps a bool onto a 0/1 gauge value.
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // recordEpoch runs on rank 0 only and returns the committed record.

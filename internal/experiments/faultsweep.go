@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"asyncio/internal/core"
+	"asyncio/internal/faults"
+	"asyncio/internal/systems"
+	"asyncio/internal/workloads/vpicio"
+)
+
+// defaultFaultSpec, when non-nil, is attached (as a fresh injector per
+// run — an injector serves exactly one run) to every system the
+// experiments build. cmd/asyncio-bench wires its -faults flag here so
+// any figure can be regenerated under an injected fault schedule.
+var defaultFaultSpec *faults.Spec
+
+// SetDefaultFaults installs a fault schedule on every system the
+// experiment generators construct; the empty string clears it.
+func SetDefaultFaults(spec string) error {
+	if spec == "" {
+		defaultFaultSpec = nil
+		return nil
+	}
+	sp, err := faults.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	defaultFaultSpec = sp
+	return nil
+}
+
+// faultOpts returns the extra system options the default fault schedule
+// requires (none when no schedule is installed).
+func faultOpts() []systems.Option {
+	if defaultFaultSpec == nil {
+		return nil
+	}
+	return []systems.Option{systems.WithFaults(faults.FromSpec(defaultFaultSpec))}
+}
+
+// FaultSweep measures how injected storage faults erode the paper's
+// headline async-vs-sync comparison: VPIC-IO on Summit under increasing
+// transient-error rates on every storage target, with the retry stage
+// absorbing the failures. Synchronous rates pay every retry's backoff
+// inside the blocking I/O phase; asynchronous rates hide the retries in
+// the background stream until the staging pipeline itself saturates.
+func FaultSweep(scale Scale) (*Table, error) {
+	nodes := scale.SummitNodes[0]
+	if len(scale.SummitNodes) > 1 {
+		nodes = scale.SummitNodes[1]
+	}
+	rates := []float64{0, 0.02, 0.05, 0.1, 0.2}
+	t := &Table{
+		ID:     "faultsweep",
+		Title:  fmt.Sprintf("VPIC-IO under injected transient I/O errors, Summit (%d nodes)", nodes),
+		XLabel: "error rate", YLabel: "GB/s",
+	}
+	var xs, syncY, asyncY []float64
+	for _, rate := range rates {
+		xs = append(xs, rate)
+		var retries [2]int64
+		for i, mode := range []core.Mode{core.ForceSync, core.ForceAsync} {
+			in, err := faults.New(fmt.Sprintf("seed=11;err=*:%g;retries=10", rate))
+			if err != nil {
+				return nil, err
+			}
+			sys := newSystem("summit", nodes, systems.WithFaults(in))
+			rep, _, err := vpicio.Run(sys, vpicio.Config{
+				Steps: scale.Steps, ComputeTime: 30 * time.Second, Mode: mode,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("faultsweep rate=%g %v: %w", rate, mode, err)
+			}
+			if c := sys.Metrics.FindCounter(faults.MetricRetries); c != nil {
+				retries[i] = c.Value()
+			}
+			if mode == core.ForceSync {
+				syncY = append(syncY, gb(rep.Run.PeakRate()))
+			} else {
+				asyncY = append(asyncY, gb(rep.Run.PeakRate()))
+			}
+		}
+		if rate > 0 {
+			t.note("rate %g: %d sync / %d async retries absorbed", rate, retries[0], retries[1])
+		}
+	}
+	t.Series = []Series{
+		{Name: "sync", X: xs, Y: syncY},
+		{Name: "async", X: xs, Y: asyncY},
+	}
+	t.note("seeded per-op draws; each failed op retries with capped exponential backoff (50 ms × 2ⁿ)")
+	return t, nil
+}

@@ -37,6 +37,7 @@ func Registry() map[string]Generator {
 		"fig7":         Fig7NyxOverlapCori,
 		"fig8":         Fig8VPICVariability,
 		"r2":           ModelAccuracy,
+		"faultsweep":   FaultSweep,
 		"micro-mem":    MicroMemcpy,
 		"micro-gpu":    MicroGPUTransfer,
 		"abl-zerocopy": AblationZeroCopy,
@@ -47,9 +48,11 @@ func Registry() map[string]Generator {
 	}
 }
 
-// newSystem builds a fresh clock+system for one run.
+// newSystem builds a fresh clock+system for one run, attaching the
+// process-wide default fault schedule when one is installed.
 func newSystem(name string, nodes int, opts ...systems.Option) *systems.System {
 	clk := vclock.New()
+	opts = append(faultOpts(), opts...)
 	if name == "summit" {
 		return systems.Summit(clk, nodes, opts...)
 	}

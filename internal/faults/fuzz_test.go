@@ -1,0 +1,46 @@
+package faults
+
+import "testing"
+
+// FuzzFaultSpec asserts the spec grammar's canonicalization fixed point:
+// any string that parses must render to a canonical form that parses to
+// the same schedule, and that canonical form must be its own fixed point
+// (String ∘ ParseSpec is idempotent). Parse failures are fine; panics
+// and canonical forms that fail to re-parse are not.
+func FuzzFaultSpec(f *testing.F) {
+	seeds := []string{
+		"",
+		"seed=42",
+		"seed=42;err=gpfs:0.01;outage=gpfs@40s+20s",
+		"slow=lustre:0.5@10s-60s;meta=gpfs:2ms;bgstall=5s+2s",
+		"stagecap=1048576;retries=8;backoff=20ms;maxbackoff=2s;deadline=30s",
+		"demote=4;healthy=2;spike=3",
+		"err=*:1;slow=*:1e-3",
+		"outage=burst-buffer@0s+1ms;outage=burst-buffer@5s+1ms",
+		"seed=-1;err=a.b-c_d:0.999@0s-1h",
+		"slow=gpfs:0.25;slow=gpfs:0.5@1s-2s;err=gpfs:0@3s-4s",
+		" seed = 7 ; err = gpfs : 0.1 ",
+		"err=gpfs:2",   // invalid rate
+		"outage=gpfs",  // missing window
+		"bogus=1",      // unknown key
+		"seed",         // not key=value
+		"meta=gpfs:0s", // non-positive stall
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sp, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		canon := sp.String()
+		sp2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, s, err)
+		}
+		if again := sp2.String(); again != canon {
+			t.Fatalf("String is not a fixed point: %q → %q → %q", s, canon, again)
+		}
+	})
+}

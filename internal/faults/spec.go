@@ -1,0 +1,430 @@
+// Package faults implements a deterministic, seeded fault injector for
+// the simulation: per-target slowdown windows, transient I/O error
+// rates, full-target outages with repair times, and metadata stalls on
+// internal/pfs targets, plus background-stream stalls and staging-buffer
+// exhaustion on internal/asyncvol. Everything is driven by the virtual
+// clock, so a seeded schedule replays byte-identically.
+//
+// A schedule is written as a compact spec string (the -faults flag):
+//
+//	seed=42;err=gpfs:0.01;outage=gpfs@40s+20s;slow=lustre:0.5@10s-60s;
+//	meta=gpfs:2ms;bgstall=5s+2s;stagecap=1048576;
+//	retries=8;backoff=20ms;maxbackoff=2s;deadline=30s;
+//	demote=4;healthy=2;spike=3
+//
+// Entries are semicolon-separated key=value pairs; slow/err/meta/outage
+// may repeat for multiple targets or windows. Target "*" matches every
+// target. Windows are `@start-end` (half-open, end exclusive); outages
+// and bgstalls are `@start+duration` / `start+duration`.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Window is a half-open interval of virtual time [Start, End); a zero
+// End means "whole run".
+type Window struct {
+	Start, End time.Duration
+}
+
+// contains reports whether t falls inside the window.
+func (w Window) contains(t time.Duration) bool {
+	return t >= w.Start && (w.End == 0 || t < w.End)
+}
+
+// Slowdown scales a target's capacity by Factor inside the window.
+type Slowdown struct {
+	Target string
+	Factor float64
+	Window Window
+}
+
+// ErrRate injects transient errors on a target's data ops at Rate
+// inside the window.
+type ErrRate struct {
+	Target string
+	Rate   float64
+	Window Window
+}
+
+// Outage rejects every data op on a target from Start until repair at
+// Start+Dur.
+type Outage struct {
+	Target string
+	Start  time.Duration
+	Dur    time.Duration
+}
+
+// MetaStall adds Extra latency to metadata ops on a target inside the
+// window.
+type MetaStall struct {
+	Target string
+	Extra  time.Duration
+	Window Window
+}
+
+// BGStall pauses background streams that pick up work between Start and
+// Start+Dur (tasks sleep until the stall ends).
+type BGStall struct {
+	Start, Dur time.Duration
+}
+
+// RetrySpec configures the ioreq retry stage threaded through faulted
+// runs.
+type RetrySpec struct {
+	Attempts   int           // total attempts including the first
+	Backoff    time.Duration // first retry delay, doubling per retry
+	MaxBackoff time.Duration // backoff cap
+	Deadline   time.Duration // per-request virtual-time budget; 0 = none
+}
+
+// DegradeSpec configures graceful degradation in internal/core: demote
+// async→sync when the drain-queue depth exceeds the watermark, retries
+// exhaust, or measured async I/O time spikes past the model's overhead
+// estimate; re-promote after HealthyEpochs clean epochs.
+type DegradeSpec struct {
+	Enabled        bool
+	QueueWatermark float64 // demote=<n>; 0 disables the queue signal
+	OverheadSpike  float64 // spike=<f>; 0 disables the spike signal
+	HealthyEpochs  int
+}
+
+// Spec is a parsed fault schedule.
+type Spec struct {
+	Seed       int64
+	Slowdowns  []Slowdown
+	ErrRates   []ErrRate
+	Outages    []Outage
+	MetaStalls []MetaStall
+	BGStalls   []BGStall
+	StageCap   int64 // staging-buffer byte budget per connector; 0 = unbounded
+	Retry      RetrySpec
+	Degrade    DegradeSpec
+}
+
+// DefaultRetry is the retry policy used when a spec does not override
+// it.
+var DefaultRetry = RetrySpec{
+	Attempts:   6,
+	Backoff:    50 * time.Millisecond,
+	MaxBackoff: 5 * time.Second,
+}
+
+const defaultHealthyEpochs = 2
+
+// ParseSpec parses a fault spec string. The empty string parses to a
+// schedule with no faults (defaults only).
+func ParseSpec(s string) (*Spec, error) {
+	sp := &Spec{Retry: DefaultRetry}
+	sp.Degrade.HealthyEpochs = defaultHealthyEpochs
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: entry %q is not key=value", part)
+		}
+		if err := sp.parseEntry(strings.TrimSpace(key), strings.TrimSpace(val)); err != nil {
+			return nil, err
+		}
+	}
+	return sp, nil
+}
+
+func (sp *Spec) parseEntry(key, val string) error {
+	switch key {
+	case "seed":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("faults: seed %q: %v", val, err)
+		}
+		sp.Seed = n
+	case "slow":
+		target, rest, err := splitTarget(key, val)
+		if err != nil {
+			return err
+		}
+		factor, win, err := parseValueWindow(key, rest)
+		if err != nil {
+			return err
+		}
+		if !(factor > 0 && factor <= 1) {
+			return fmt.Errorf("faults: slow factor %v outside (0,1]", factor)
+		}
+		sp.Slowdowns = append(sp.Slowdowns, Slowdown{Target: target, Factor: factor, Window: win})
+	case "err":
+		target, rest, err := splitTarget(key, val)
+		if err != nil {
+			return err
+		}
+		rate, win, err := parseValueWindow(key, rest)
+		if err != nil {
+			return err
+		}
+		if !(rate >= 0 && rate <= 1) {
+			return fmt.Errorf("faults: error rate %v outside [0,1]", rate)
+		}
+		sp.ErrRates = append(sp.ErrRates, ErrRate{Target: target, Rate: rate, Window: win})
+	case "outage":
+		target, rest, ok := strings.Cut(val, "@")
+		if !ok {
+			return fmt.Errorf("faults: outage %q needs <target>@<start>+<dur>", val)
+		}
+		if err := checkTarget(target); err != nil {
+			return err
+		}
+		start, dur, err := parseStartDur(key, rest)
+		if err != nil {
+			return err
+		}
+		sp.Outages = append(sp.Outages, Outage{Target: target, Start: start, Dur: dur})
+	case "meta":
+		target, rest, err := splitTarget(key, val)
+		if err != nil {
+			return err
+		}
+		valStr, win, err := splitWindow(key, rest)
+		if err != nil {
+			return err
+		}
+		extra, err := parseDur(key, valStr)
+		if err != nil {
+			return err
+		}
+		if extra <= 0 {
+			return fmt.Errorf("faults: meta stall %v must be positive", extra)
+		}
+		sp.MetaStalls = append(sp.MetaStalls, MetaStall{Target: target, Extra: extra, Window: win})
+	case "bgstall":
+		start, dur, err := parseStartDur(key, val)
+		if err != nil {
+			return err
+		}
+		sp.BGStalls = append(sp.BGStalls, BGStall{Start: start, Dur: dur})
+	case "stagecap":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil || n < 0 {
+			return fmt.Errorf("faults: stagecap %q must be a non-negative byte count", val)
+		}
+		sp.StageCap = n
+	case "retries":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return fmt.Errorf("faults: retries %q must be a positive attempt count", val)
+		}
+		sp.Retry.Attempts = n
+	case "backoff":
+		d, err := parseDur(key, val)
+		if err != nil {
+			return err
+		}
+		sp.Retry.Backoff = d
+	case "maxbackoff":
+		d, err := parseDur(key, val)
+		if err != nil {
+			return err
+		}
+		sp.Retry.MaxBackoff = d
+	case "deadline":
+		d, err := parseDur(key, val)
+		if err != nil {
+			return err
+		}
+		sp.Retry.Deadline = d
+	case "demote":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || !(f > 0) || math.IsInf(f, 0) {
+			return fmt.Errorf("faults: demote watermark %q must be positive and finite", val)
+		}
+		sp.Degrade.QueueWatermark = f
+		sp.Degrade.Enabled = true
+	case "spike":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || !(f > 1) || math.IsInf(f, 0) {
+			return fmt.Errorf("faults: spike factor %q must exceed 1 and be finite", val)
+		}
+		sp.Degrade.OverheadSpike = f
+		sp.Degrade.Enabled = true
+	case "healthy":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return fmt.Errorf("faults: healthy %q must be a positive epoch count", val)
+		}
+		sp.Degrade.HealthyEpochs = n
+	default:
+		return fmt.Errorf("faults: unknown key %q", key)
+	}
+	return nil
+}
+
+// splitTarget splits "<target>:<rest>" and validates the target name.
+func splitTarget(key, val string) (target, rest string, err error) {
+	target, rest, ok := strings.Cut(val, ":")
+	if !ok {
+		return "", "", fmt.Errorf("faults: %s %q needs <target>:<value>", key, val)
+	}
+	if err := checkTarget(target); err != nil {
+		return "", "", err
+	}
+	return target, rest, nil
+}
+
+// checkTarget restricts target names so spec strings round-trip.
+func checkTarget(t string) error {
+	if t == "" {
+		return fmt.Errorf("faults: empty target")
+	}
+	for _, r := range t {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.', r == '*':
+		default:
+			return fmt.Errorf("faults: target %q contains %q", t, r)
+		}
+	}
+	return nil
+}
+
+// splitWindow splits an optional "@start-end" suffix off a value.
+func splitWindow(key, val string) (string, Window, error) {
+	body, winStr, ok := strings.Cut(val, "@")
+	if !ok {
+		return body, Window{}, nil
+	}
+	startStr, endStr, ok := strings.Cut(winStr, "-")
+	if !ok {
+		return "", Window{}, fmt.Errorf("faults: %s window %q needs <start>-<end>", key, winStr)
+	}
+	start, err := parseDur(key, startStr)
+	if err != nil {
+		return "", Window{}, err
+	}
+	end, err := parseDur(key, endStr)
+	if err != nil {
+		return "", Window{}, err
+	}
+	if end <= start {
+		return "", Window{}, fmt.Errorf("faults: %s window %q end must follow start", key, winStr)
+	}
+	return body, Window{Start: start, End: end}, nil
+}
+
+// parseValueWindow parses "<float>[@start-end]".
+func parseValueWindow(key, val string) (float64, Window, error) {
+	body, win, err := splitWindow(key, val)
+	if err != nil {
+		return 0, Window{}, err
+	}
+	f, err := strconv.ParseFloat(body, 64)
+	if err != nil {
+		return 0, Window{}, fmt.Errorf("faults: %s value %q: %v", key, body, err)
+	}
+	return f, win, nil
+}
+
+// parseStartDur parses "<start>+<dur>".
+func parseStartDur(key, val string) (start, dur time.Duration, err error) {
+	startStr, durStr, ok := strings.Cut(val, "+")
+	if !ok {
+		return 0, 0, fmt.Errorf("faults: %s %q needs <start>+<dur>", key, val)
+	}
+	if start, err = parseDur(key, startStr); err != nil {
+		return 0, 0, err
+	}
+	if dur, err = parseDur(key, durStr); err != nil {
+		return 0, 0, err
+	}
+	if dur <= 0 {
+		return 0, 0, fmt.Errorf("faults: %s duration %v must be positive", key, dur)
+	}
+	return start, dur, nil
+}
+
+// parseDur parses a non-negative Go duration.
+func parseDur(key, s string) (time.Duration, error) {
+	d, err := time.ParseDuration(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("faults: %s duration %q: %v", key, s, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("faults: %s duration %v is negative", key, d)
+	}
+	return d, nil
+}
+
+// String renders the spec in canonical form; parsing the result yields
+// an equal spec (the fuzz harness asserts this fixed point).
+func (sp *Spec) String() string {
+	var parts []string
+	add := func(format string, args ...any) {
+		parts = append(parts, fmt.Sprintf(format, args...))
+	}
+	if sp.Seed != 0 {
+		add("seed=%d", sp.Seed)
+	}
+	for _, s := range sp.Slowdowns {
+		add("slow=%s:%s%s", s.Target, formatFloat(s.Factor), s.Window)
+	}
+	for _, e := range sp.ErrRates {
+		add("err=%s:%s%s", e.Target, formatFloat(e.Rate), e.Window)
+	}
+	for _, o := range sp.Outages {
+		add("outage=%s@%s+%s", o.Target, o.Start, o.Dur)
+	}
+	for _, m := range sp.MetaStalls {
+		add("meta=%s:%s%s", m.Target, m.Extra, m.Window)
+	}
+	for _, b := range sp.BGStalls {
+		add("bgstall=%s+%s", b.Start, b.Dur)
+	}
+	if sp.StageCap != 0 {
+		add("stagecap=%d", sp.StageCap)
+	}
+	if sp.Retry.Attempts != DefaultRetry.Attempts {
+		add("retries=%d", sp.Retry.Attempts)
+	}
+	if sp.Retry.Backoff != DefaultRetry.Backoff {
+		add("backoff=%s", sp.Retry.Backoff)
+	}
+	if sp.Retry.MaxBackoff != DefaultRetry.MaxBackoff {
+		add("maxbackoff=%s", sp.Retry.MaxBackoff)
+	}
+	if sp.Retry.Deadline != 0 {
+		add("deadline=%s", sp.Retry.Deadline)
+	}
+	if sp.Degrade.QueueWatermark > 0 {
+		add("demote=%s", formatFloat(sp.Degrade.QueueWatermark))
+	}
+	if sp.Degrade.OverheadSpike > 0 {
+		add("spike=%s", formatFloat(sp.Degrade.OverheadSpike))
+	}
+	if sp.Degrade.HealthyEpochs != defaultHealthyEpochs {
+		add("healthy=%d", sp.Degrade.HealthyEpochs)
+	}
+	return strings.Join(parts, ";")
+}
+
+// String renders a window as its spec suffix (empty for the whole run).
+func (w Window) String() string {
+	if w == (Window{}) {
+		return ""
+	}
+	return fmt.Sprintf("@%s-%s", w.Start, w.End)
+}
+
+// formatFloat renders a float in shortest round-trippable form.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// matches reports whether a spec target matches a concrete target name.
+func matches(specTarget, name string) bool {
+	return specTarget == "*" || specTarget == name
+}

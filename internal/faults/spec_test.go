@@ -1,0 +1,231 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"asyncio/internal/vclock"
+)
+
+func TestParseSpecCanonicalizes(t *testing.T) {
+	cases := []struct{ in, canon string }{
+		{"", ""},
+		{"seed=42", "seed=42"},
+		{" seed = 7 ;; err=gpfs:0.1 ", "seed=7;err=gpfs:0.1"},
+		{"err=gpfs:0.01;outage=gpfs@40s+20s;seed=42", "seed=42;err=gpfs:0.01;outage=gpfs@40s+20s"},
+		{"slow=lustre:0.5@10s-60s", "slow=lustre:0.5@10s-1m0s"},
+		{"retries=6;backoff=50ms;maxbackoff=5s;healthy=2", ""}, // defaults are omitted
+		{"meta=gpfs:2ms;bgstall=5s+2s;stagecap=1048576", "meta=gpfs:2ms;bgstall=5s+2s;stagecap=1048576"},
+		{"demote=4;spike=3;healthy=5", "demote=4;spike=3;healthy=5"},
+		{"deadline=1500ms", "deadline=1.5s"},
+		{"err=*:1;slow=a.b-c_d:1e-3", "slow=a.b-c_d:0.001;err=*:1"}, // canonical order: slows first
+	}
+	for _, tc := range cases {
+		sp, err := ParseSpec(tc.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if got := sp.String(); got != tc.canon {
+			t.Errorf("ParseSpec(%q).String() = %q, want %q", tc.in, got, tc.canon)
+		}
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	bad := []string{
+		"seed",                // not key=value
+		"bogus=1",             // unknown key
+		"seed=x",              // not an integer
+		"err=gpfs:2",          // rate above 1
+		"err=gpfs:-0.1",       // negative rate
+		"err=:0.1",            // empty target
+		"err=gp fs:0.1",       // bad target charset
+		"slow=gpfs:0",         // factor outside (0,1]
+		"slow=gpfs:1.5",       // factor outside (0,1]
+		"slow=gpfs:0.5@5s-5s", // empty window
+		"slow=gpfs:0.5@5s",    // malformed window
+		"outage=gpfs",         // missing window
+		"outage=gpfs@1s",      // missing duration
+		"outage=gpfs@1s+0s",   // non-positive duration
+		"meta=gpfs:0s",        // non-positive stall
+		"bgstall=1s-2s",       // wrong separator
+		"stagecap=-1",         // negative budget
+		"retries=0",           // attempts below 1
+		"backoff=-5ms",        // negative duration
+		"demote=0",            // watermark not positive
+		"demote=+Inf",         // non-finite
+		"spike=1",             // must exceed 1
+		"healthy=0",           // epochs below 1
+	}
+	for _, s := range bad {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) = nil error, want rejection", s)
+		}
+	}
+}
+
+// TestDrawDeterminism pins the property the whole injector rests on: the
+// transient-error decision sequence is a pure function of (seed, target,
+// process, op index) — identical across injector instances and immune to
+// how other processes' draws interleave.
+func TestDrawDeterminism(t *testing.T) {
+	mk := func(spec string) *Injector {
+		in, err := New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	a, b := mk("seed=1"), mk("seed=1")
+	other := mk("seed=2")
+	var seqA, seqB []float64
+	differs := false
+	for i := 0; i < 200; i++ {
+		va := a.draw("gpfs", "w0")
+		if va < 0 || va >= 1 {
+			t.Fatalf("draw %d = %v outside [0,1)", i, va)
+		}
+		seqA = append(seqA, va)
+		// b interleaves draws for other (target, proc) pairs; w0's own
+		// sequence must not shift.
+		b.draw("gpfs", "w1")
+		b.draw("lustre", "w0")
+		seqB = append(seqB, b.draw("gpfs", "w0"))
+		if va != other.draw("gpfs", "w0") {
+			differs = true
+		}
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("draw %d: %v vs %v under interleaving", i, seqA[i], seqB[i])
+		}
+	}
+	if !differs {
+		t.Error("seeds 1 and 2 produced identical draw sequences")
+	}
+}
+
+func TestBeforeDataOutageAndErrRate(t *testing.T) {
+	in, err := New("outage=gpfs@10s+5s;err=*:1@20s-30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := vclock.New()
+	clk.Go("w0", func(p *vclock.Proc) {
+		if err := in.BeforeData(p, "gpfs", true, 8); err != nil {
+			t.Errorf("before outage: %v", err)
+		}
+		p.Sleep(10 * time.Second)
+		var fe *Error
+		if err := in.BeforeData(p, "gpfs", true, 8); !errors.As(err, &fe) || fe.Kind != KindOutage {
+			t.Errorf("during outage: %v, want KindOutage", err)
+		} else if fe.Target != "gpfs" || fe.Op != "write" || fe.At != 10*time.Second {
+			t.Errorf("outage error fields = %+v", fe)
+		}
+		if err := in.BeforeData(p, "lustre", true, 8); err != nil {
+			t.Errorf("outage must not hit other targets: %v", err)
+		}
+		p.Sleep(5 * time.Second) // repair boundary: 15s is outside [10s,15s)
+		if err := in.BeforeData(p, "gpfs", true, 8); err != nil {
+			t.Errorf("after repair: %v", err)
+		}
+		p.Sleep(5 * time.Second) // 20s: rate-1 error window opens
+		if err := in.BeforeData(p, "gpfs", false, 8); !errors.As(err, &fe) || fe.Kind != KindTransient {
+			t.Errorf("in err window: %v, want KindTransient", err)
+		} else if fe.Op != "read" {
+			t.Errorf("op = %q, want read", fe.Op)
+		}
+		p.Sleep(10 * time.Second) // 30s: window closed (end exclusive)
+		if err := in.BeforeData(p, "gpfs", false, 8); err != nil {
+			t.Errorf("after err window: %v", err)
+		}
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBeforeMetaStallSleeps(t *testing.T) {
+	in, err := New("meta=gpfs:2ms@0s-1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := vclock.New()
+	clk.Go("w0", func(p *vclock.Proc) {
+		in.BeforeMeta(p, "gpfs")
+		if now := p.Now(); now != 2*time.Millisecond {
+			t.Errorf("after stalled meta op: now = %v, want 2ms", now)
+		}
+		in.BeforeMeta(p, "lustre") // other target: no stall
+		p.Sleep(time.Second)       // past the window
+		before := p.Now()
+		in.BeforeMeta(p, "gpfs")
+		if p.Now() != before {
+			t.Errorf("meta stall applied outside its window")
+		}
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackgroundStall(t *testing.T) {
+	in, err := New("bgstall=5s+2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		now, want time.Duration
+	}{
+		{4 * time.Second, 0},
+		{5 * time.Second, 2 * time.Second},
+		{6 * time.Second, time.Second},
+		{7 * time.Second, 0}, // end exclusive
+	} {
+		if got := in.BackgroundStall(tc.now); got != tc.want {
+			t.Errorf("BackgroundStall(%v) = %v, want %v", tc.now, got, tc.want)
+		}
+	}
+}
+
+func TestSlowFactorWindowsMultiply(t *testing.T) {
+	in, err := New("slow=gpfs:0.5@10s-20s;slow=*:0.5@15s-25s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		at   time.Duration
+		want float64
+	}{
+		{5 * time.Second, 1},
+		{12 * time.Second, 0.5},
+		{17 * time.Second, 0.25}, // overlap: factors multiply
+		{22 * time.Second, 0.5},
+		{25 * time.Second, 1}, // end exclusive
+	} {
+		if got := in.slowFactorAt("gpfs", tc.at); got != tc.want {
+			t.Errorf("slowFactorAt(gpfs, %v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+	if got := in.slowFactorAt("lustre", 12*time.Second); got != 1 {
+		t.Errorf("slowFactorAt(lustre, 12s) = %v, want 1 (gpfs-only window)", got)
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	e := &Error{Kind: KindTransient, Target: "gpfs", Op: "write", At: 3 * time.Second}
+	if !strings.Contains(e.Error(), "transient") || !strings.Contains(e.Error(), "gpfs") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+	wrapped := &Error{Kind: KindRetryExhausted, At: 4 * time.Second, Attempts: 6, Err: e}
+	if !errors.Is(wrapped, wrapped) || !strings.Contains(wrapped.Error(), "6 attempts") {
+		t.Errorf("Error() = %q", wrapped.Error())
+	}
+	var fe *Error
+	if !errors.As(wrapped.Unwrap(), &fe) || fe.Kind != KindTransient {
+		t.Errorf("Unwrap lost the cause: %v", wrapped.Unwrap())
+	}
+}

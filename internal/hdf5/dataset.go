@@ -71,7 +71,9 @@ func (d *Dataset) Write(tp *TransferProps, fspace *Dataspace, buf []byte) error 
 	if err != nil {
 		return err
 	}
-	chargeWrite(f.driver, tp, nbytes)
+	if err := chargeWrite(f.driver, tp, nbytes); err != nil {
+		return err
+	}
 	tsize := uint64(d.o.dtype.Size)
 	var memOff uint64
 	if !d.o.lay.chunked {
@@ -116,7 +118,9 @@ func (d *Dataset) Read(tp *TransferProps, fspace *Dataspace, buf []byte) error {
 	if err != nil {
 		return err
 	}
-	chargeRead(f.driver, tp, nbytes)
+	if err := chargeRead(f.driver, tp, nbytes); err != nil {
+		return err
+	}
 	tsize := uint64(d.o.dtype.Size)
 	var memOff uint64
 	readAt := func(b []byte, addr int64) error {
@@ -170,7 +174,9 @@ func (d *Dataset) ReadNull(tp *TransferProps, fspace *Dataspace) error {
 	if err != nil {
 		return err
 	}
-	chargeRead(f.driver, tp, nbytes)
+	if err := chargeRead(f.driver, tp, nbytes); err != nil {
+		return err
+	}
 	if !d.o.lay.chunked {
 		return nil
 	}
@@ -191,7 +197,9 @@ func (d *Dataset) WriteNull(tp *TransferProps, fspace *Dataspace) error {
 	if err != nil {
 		return err
 	}
-	chargeWrite(f.driver, tp, nbytes)
+	if err := chargeWrite(f.driver, tp, nbytes); err != nil {
+		return err
+	}
 	if !d.o.lay.chunked {
 		return nil
 	}

@@ -33,6 +33,17 @@ type SpanDriver interface {
 	ReadDataSpan(p *vclock.Proc, nbytes int64, sp *trace.Span)
 }
 
+// FallibleDriver is optionally implemented by drivers whose charges can
+// fail — fault injection makes internal/pfs targets return transient
+// errors and outages. When the file's driver implements it, the library
+// routes data charges through these entry points and propagates the
+// error to the caller; sp may be nil. The time charged on success must
+// be identical to the plain Driver path.
+type FallibleDriver interface {
+	TryWriteData(p *vclock.Proc, nbytes int64, sp *trace.Span) error
+	TryReadData(p *vclock.Proc, nbytes int64, sp *trace.Span) error
+}
+
 // NopDriver charges nothing; it is the default for plain library use.
 type NopDriver struct{}
 
@@ -71,25 +82,34 @@ func (tp *TransferProps) span() *trace.Span {
 	return tp.Span
 }
 
-// chargeWrite charges a data write on d, routing through the span-aware
-// entry point when both a span and a SpanDriver are present.
-func chargeWrite(d Driver, tp *TransferProps, nbytes int64) {
+// chargeWrite charges a data write on d, preferring the fallible entry
+// point when the driver has one, and otherwise routing through the
+// span-aware entry point when both a span and a SpanDriver are present.
+func chargeWrite(d Driver, tp *TransferProps, nbytes int64) error {
+	if fd, ok := d.(FallibleDriver); ok {
+		return fd.TryWriteData(tp.proc(), nbytes, tp.span())
+	}
 	if sp := tp.span(); sp != nil {
 		if sd, ok := d.(SpanDriver); ok {
 			sd.WriteDataSpan(tp.proc(), nbytes, sp)
-			return
+			return nil
 		}
 	}
 	d.WriteData(tp.proc(), nbytes)
+	return nil
 }
 
 // chargeRead is chargeWrite for reads.
-func chargeRead(d Driver, tp *TransferProps, nbytes int64) {
+func chargeRead(d Driver, tp *TransferProps, nbytes int64) error {
+	if fd, ok := d.(FallibleDriver); ok {
+		return fd.TryReadData(tp.proc(), nbytes, tp.span())
+	}
 	if sp := tp.span(); sp != nil {
 		if sd, ok := d.(SpanDriver); ok {
 			sd.ReadDataSpan(tp.proc(), nbytes, sp)
-			return
+			return nil
 		}
 	}
 	d.ReadData(tp.proc(), nbytes)
+	return nil
 }

@@ -1,0 +1,95 @@
+package ioreq
+
+import (
+	"fmt"
+	"time"
+
+	"asyncio/internal/vclock"
+)
+
+// RetryPolicy configures the retry middleware stage: capped exponential
+// backoff in virtual time, with an optional per-request deadline. The
+// callbacks keep the package free of any fault-injector dependency —
+// internal/faults supplies them.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first;
+	// values below 2 disable retrying.
+	MaxAttempts int
+	// Backoff is the delay before the first retry; each subsequent retry
+	// doubles it, capped at MaxBackoff (uncapped when MaxBackoff is 0).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Deadline bounds the virtual time a request may spend in the stage,
+	// measured from the first failure. A retry whose backoff would cross
+	// the deadline is not attempted. Zero means no deadline.
+	Deadline time.Duration
+	// Retryable reports whether an error is worth retrying. Nil retries
+	// nothing (the stage is a pass-through).
+	Retryable func(error) bool
+	// OnRetry, when non-nil, observes every retry before its backoff
+	// sleep: attempt is the 1-based number of the attempt that just
+	// failed.
+	OnRetry func(req *Request, attempt int, err error)
+	// Exhausted, when non-nil, maps the final error once attempts or the
+	// deadline run out; the default wraps it with attempt context.
+	Exhausted func(req *Request, attempts int, err error) error
+}
+
+// RetryStage retries failed downstream dispatches under a RetryPolicy.
+// It is stateless and safe to share across pipelines.
+type RetryStage struct {
+	pol RetryPolicy
+}
+
+// NewRetry builds the retry middleware stage.
+func NewRetry(pol RetryPolicy) *RetryStage { return &RetryStage{pol: pol} }
+
+// Name implements Stage.
+func (s *RetryStage) Name() string { return "retry" }
+
+// Process implements Stage: dispatch, and on a retryable error back off
+// on the request's process (advancing virtual time) and redispatch.
+func (s *RetryStage) Process(req *Request, next func(*Request) error) error {
+	err := next(req)
+	if err == nil || s.pol.Retryable == nil || !s.pol.Retryable(err) {
+		return err
+	}
+	var deadline time.Duration
+	if s.pol.Deadline > 0 && req.Proc != nil {
+		deadline = req.Proc.Now() + s.pol.Deadline
+	}
+	backoff := s.pol.Backoff
+	for attempt := 1; ; attempt++ {
+		if attempt >= s.pol.MaxAttempts {
+			return s.exhaust(req, attempt, err)
+		}
+		if deadline > 0 && req.Proc.Now()+backoff > deadline {
+			return s.exhaust(req, attempt, err)
+		}
+		if s.pol.OnRetry != nil {
+			s.pol.OnRetry(req, attempt, err)
+		}
+		if req.Proc != nil && backoff > 0 {
+			req.Proc.Sleep(backoff)
+		}
+		backoff *= 2
+		if s.pol.MaxBackoff > 0 && backoff > s.pol.MaxBackoff {
+			backoff = s.pol.MaxBackoff
+		}
+		if err = next(req); err == nil || !s.pol.Retryable(err) {
+			return err
+		}
+	}
+}
+
+// Flush implements Stage (nothing is buffered).
+func (s *RetryStage) Flush(*vclock.Proc, func(*Request) error) error { return nil }
+
+func (s *RetryStage) exhaust(req *Request, attempts int, err error) error {
+	if s.pol.Exhausted != nil {
+		return s.pol.Exhausted(req, attempts, err)
+	}
+	return fmt.Errorf("ioreq: retries exhausted after %d attempts: %w", attempts, err)
+}
+
+var _ Stage = (*RetryStage)(nil)

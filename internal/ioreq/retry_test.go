@@ -1,0 +1,158 @@
+package ioreq
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"asyncio/internal/vclock"
+)
+
+// TestRetryBackoffSequence pins the stage's virtual-time behavior: the
+// first retry waits Backoff, each later one doubles it up to MaxBackoff,
+// and the request succeeds once the downstream stops failing.
+func TestRetryBackoffSequence(t *testing.T) {
+	sentinel := errors.New("transient")
+	st := NewRetry(RetryPolicy{
+		MaxAttempts: 6,
+		Backoff:     10 * time.Millisecond,
+		MaxBackoff:  15 * time.Millisecond,
+		Retryable:   func(err error) bool { return errors.Is(err, sentinel) },
+	})
+	clk := vclock.New()
+	clk.Go("app", func(p *vclock.Proc) {
+		var at []time.Duration
+		fails := 3
+		next := func(req *Request) error {
+			at = append(at, p.Now())
+			if fails > 0 {
+				fails--
+				return sentinel
+			}
+			return nil
+		}
+		if err := st.Process(&Request{Proc: p}, next); err != nil {
+			t.Errorf("Process = %v, want success after retries", err)
+		}
+		want := []time.Duration{
+			0,
+			10 * time.Millisecond, // first backoff
+			25 * time.Millisecond, // doubled 20ms capped to 15ms
+			40 * time.Millisecond, // still capped
+		}
+		if len(at) != len(want) {
+			t.Fatalf("dispatch times %v, want %v", at, want)
+		}
+		for i := range want {
+			if at[i] != want[i] {
+				t.Errorf("dispatch %d at %v, want %v", i, at[i], want[i])
+			}
+		}
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	sentinel := errors.New("transient")
+	var exhaustedWith int
+	st := NewRetry(RetryPolicy{
+		MaxAttempts: 3,
+		Backoff:     time.Millisecond,
+		Retryable:   func(err error) bool { return errors.Is(err, sentinel) },
+		Exhausted: func(req *Request, attempts int, err error) error {
+			exhaustedWith = attempts
+			return err
+		},
+	})
+	clk := vclock.New()
+	clk.Go("app", func(p *vclock.Proc) {
+		dispatches := 0
+		next := func(req *Request) error { dispatches++; return sentinel }
+		if err := st.Process(&Request{Proc: p}, next); !errors.Is(err, sentinel) {
+			t.Errorf("Process = %v, want the final failure", err)
+		}
+		if dispatches != 3 {
+			t.Errorf("dispatches = %d, want MaxAttempts = 3", dispatches)
+		}
+		if exhaustedWith != 3 {
+			t.Errorf("Exhausted called with attempts = %d, want 3", exhaustedWith)
+		}
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetryDeadline asserts a retry whose backoff would cross the
+// per-request deadline is not attempted.
+func TestRetryDeadline(t *testing.T) {
+	sentinel := errors.New("transient")
+	st := NewRetry(RetryPolicy{
+		MaxAttempts: 100,
+		Backoff:     100 * time.Millisecond,
+		Deadline:    150 * time.Millisecond,
+		Retryable:   func(err error) bool { return errors.Is(err, sentinel) },
+	})
+	clk := vclock.New()
+	clk.Go("app", func(p *vclock.Proc) {
+		dispatches := 0
+		next := func(req *Request) error { dispatches++; return sentinel }
+		err := st.Process(&Request{Proc: p}, next)
+		if !errors.Is(err, sentinel) {
+			t.Errorf("Process = %v", err)
+		}
+		// First failure at 0 sets the deadline to 150ms; the 100ms retry
+		// fits, the next (200ms backoff) would land at 300ms and is cut.
+		if dispatches != 2 {
+			t.Errorf("dispatches = %d, want 2", dispatches)
+		}
+		if now := p.Now(); now != 100*time.Millisecond {
+			t.Errorf("gave up at %v, want 100ms", now)
+		}
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetryPassesThroughNonRetryable(t *testing.T) {
+	sentinel := errors.New("fatal")
+	st := NewRetry(RetryPolicy{
+		MaxAttempts: 5,
+		Backoff:     time.Second,
+		Retryable:   func(err error) bool { return false },
+	})
+	clk := vclock.New()
+	clk.Go("app", func(p *vclock.Proc) {
+		dispatches := 0
+		next := func(req *Request) error { dispatches++; return sentinel }
+		if err := st.Process(&Request{Proc: p}, next); !errors.Is(err, sentinel) {
+			t.Errorf("Process = %v, want sentinel unchanged", err)
+		}
+		if dispatches != 1 {
+			t.Errorf("dispatches = %d, want 1 (no retries)", dispatches)
+		}
+		if p.Now() != 0 {
+			t.Errorf("non-retryable failure slept until %v", p.Now())
+		}
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetryNilPolicyIsPassThrough(t *testing.T) {
+	sentinel := errors.New("any")
+	st := NewRetry(RetryPolicy{MaxAttempts: 5, Backoff: time.Second})
+	clk := vclock.New()
+	clk.Go("app", func(p *vclock.Proc) {
+		if err := st.Process(&Request{Proc: p}, func(*Request) error { return sentinel }); !errors.Is(err, sentinel) {
+			t.Errorf("Process = %v, want sentinel (nil Retryable retries nothing)", err)
+		}
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -55,6 +55,8 @@ type World struct {
 	boxes   map[msgKey]*mailbox
 	subs    map[subKey]*World
 	abort   error
+	abortAt time.Duration
+	abortBy int
 	aborted bool
 }
 
@@ -138,13 +140,20 @@ func (c *Comm) Proc() *vclock.Proc { return c.p }
 func (c *Comm) Now() time.Duration { return c.p.Now() }
 
 // Abort records an error on the world and releases every rank blocked in
-// a collective or receive — those ranks unwind like MPI_Abort. The first
-// error wins. Use World.Err after clk.Wait to check the run.
+// a collective or receive — those ranks unwind like MPI_Abort. The
+// earliest failure in virtual time wins, ties broken by rank, so the
+// reported error is a function of the simulation alone: ranks failing at
+// the same virtual instant race to call Abort, and goroutine arrival
+// order must not pick the winner. Use World.Err after clk.Wait to check
+// the run.
 func (c *Comm) Abort(err error) {
+	now := c.p.Now()
 	w := c.w
 	w.mu.Lock()
-	if w.abort == nil {
+	if w.abort == nil || now < w.abortAt || (now == w.abortAt && c.rank < w.abortBy) {
 		w.abort = fmt.Errorf("rank %d: %w", c.rank, err)
+		w.abortAt = now
+		w.abortBy = c.rank
 	}
 	w.aborted = true
 	var evs []*vclock.Event
@@ -172,7 +181,8 @@ func (w *World) checkAborted() {
 	}
 }
 
-// Err returns the first error recorded via Abort, if any.
+// Err returns the error recorded via Abort (earliest virtual time,
+// lowest rank on ties), if any.
 func (w *World) Err() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()

@@ -55,6 +55,8 @@ type Target struct {
 	cfg        TargetConfig
 	srv        *flow.Server
 	contention atomic.Uint64 // float64 bits; capacity multiplier in (0,1]
+	fault      atomic.Uint64 // float64 bits; fault-injection slowdown in (0,1]
+	hook       FaultHook     // set once before the run; nil when no faults
 
 	// Dispatch counters: one data op = one charged request against the
 	// backend (the unit the small-request penalty applies to).
@@ -90,6 +92,20 @@ func (t *Target) Stats() Stats {
 	}
 }
 
+// FaultHook intercepts charged operations on a target. Implemented by
+// internal/faults; pfs only defines the seam so it stays import-free of
+// the injector.
+type FaultHook interface {
+	// BeforeData runs before a charged data request is admitted. A
+	// non-nil error fails the operation without charging the backend
+	// (the client saw EIO before any bytes moved). The hook may sleep p
+	// to model a stall instead.
+	BeforeData(p *vclock.Proc, target string, write bool, nbytes int64) error
+	// BeforeMeta runs before a metadata operation; stalls are injected
+	// by sleeping p.
+	BeforeMeta(p *vclock.Proc, target string)
+}
+
 // NewTarget builds a target on clk.
 func NewTarget(clk *vclock.Clock, cfg TargetConfig) *Target {
 	if cfg.BackendPeak <= 0 {
@@ -97,6 +113,7 @@ func NewTarget(clk *vclock.Clock, cfg TargetConfig) *Target {
 	}
 	t := &Target{cfg: cfg}
 	t.contention.Store(math.Float64bits(1))
+	t.fault.Store(math.Float64bits(1))
 	t.srv = flow.NewServer(clk, t.capacityFor)
 	return t
 }
@@ -111,7 +128,7 @@ func (t *Target) capacityFor(n int) float64 {
 	if t.cfg.PerFlowBW <= 0 {
 		c = t.cfg.BackendPeak
 	}
-	return c * t.ContentionFactor()
+	return c * t.ContentionFactor() * t.FaultFactor()
 }
 
 // Instrument registers the target's activity on m under
@@ -173,6 +190,27 @@ func (t *Target) ContentionFactor() float64 {
 	return math.Float64frombits(t.contention.Load())
 }
 
+// SetFaults installs the fault hook. Call once, before the run starts;
+// transfers read the hook without synchronization.
+func (t *Target) SetFaults(h FaultHook) { t.hook = h }
+
+// SetFaultFactor scales the backend and per-flow capacity for
+// subsequent transfers, modelling a degraded target (slow OST set,
+// rebuilding RAID array). Orthogonal to the contention factor; both
+// multiply. Running flows pick the change up at the next flow event
+// (arrival or departure) — flow.Server recomputes rates only then.
+func (t *Target) SetFaultFactor(f float64) {
+	if f <= 0 || f > 1 {
+		panic(fmt.Sprintf("pfs: fault factor %v outside (0,1]", f))
+	}
+	t.fault.Store(math.Float64bits(f))
+}
+
+// FaultFactor returns the current fault-injection capacity multiplier.
+func (t *Target) FaultFactor() float64 {
+	return math.Float64frombits(t.fault.Load())
+}
+
 // softmin is a smooth minimum (p-norm, p=3): ≈min(a,b) away from the
 // crossover, ~0.79·b at a=b.
 func softmin(a, b float64) float64 {
@@ -205,35 +243,26 @@ func (t *Target) transfer(p *vclock.Proc, b int64) bool {
 		t.mPenaltyBytes.Add(served - b)
 	}
 	t.mInflight.Add(1)
-	t.srv.TransferLimited(p, served, t.cfg.PerFlowBW*t.ContentionFactor())
+	t.srv.TransferLimited(p, served, t.cfg.PerFlowBW*t.ContentionFactor()*t.FaultFactor())
 	t.mInflight.Add(-1)
 	return true
 }
 
-// WriteData implements hdf5.Driver.
-func (t *Target) WriteData(p *vclock.Proc, nbytes int64) {
-	if t.transfer(p, nbytes) {
-		t.writeOps.Add(1)
-		t.bytesWritten.Add(nbytes)
-		t.mWriteOps.Add(1)
-		t.mBytesWritten.Add(nbytes)
+// checkFault consults the fault hook for a charged data request.
+func (t *Target) checkFault(p *vclock.Proc, write bool, b int64) error {
+	if t.hook == nil || p == nil || b <= 0 {
+		return nil
 	}
+	return t.hook.BeforeData(p, t.cfg.Name, write, b)
 }
 
-// ReadData implements hdf5.Driver.
-func (t *Target) ReadData(p *vclock.Proc, nbytes int64) {
-	if t.transfer(p, nbytes) {
-		t.readOps.Add(1)
-		t.bytesRead.Add(nbytes)
-		t.mReadOps.Add(1)
-		t.mBytesRead.Add(nbytes)
+// TryWriteData is the fallible write charge (hdf5.FallibleDriver): the
+// fault hook runs first and a hook error fails the operation before any
+// bytes are charged. A nil span skips event recording.
+func (t *Target) TryWriteData(p *vclock.Proc, nbytes int64, sp *trace.Span) error {
+	if err := t.checkFault(p, true, nbytes); err != nil {
+		return err
 	}
-}
-
-// WriteDataSpan implements hdf5.SpanDriver: identical charge to
-// WriteData, plus a span event covering the transfer in virtual time,
-// attributed to the acting process's track.
-func (t *Target) WriteDataSpan(p *vclock.Proc, nbytes int64, sp *trace.Span) {
 	start := procNow(p)
 	if t.transfer(p, nbytes) {
 		t.writeOps.Add(1)
@@ -242,10 +271,14 @@ func (t *Target) WriteDataSpan(p *vclock.Proc, nbytes int64, sp *trace.Span) {
 		t.mBytesWritten.Add(nbytes)
 		sp.EventDurOn("pfs:"+t.cfg.Name+":write", nbytes, start, p.Now()-start, p.Name())
 	}
+	return nil
 }
 
-// ReadDataSpan implements hdf5.SpanDriver.
-func (t *Target) ReadDataSpan(p *vclock.Proc, nbytes int64, sp *trace.Span) {
+// TryReadData is the fallible read charge (hdf5.FallibleDriver).
+func (t *Target) TryReadData(p *vclock.Proc, nbytes int64, sp *trace.Span) error {
+	if err := t.checkFault(p, false, nbytes); err != nil {
+		return err
+	}
 	start := procNow(p)
 	if t.transfer(p, nbytes) {
 		t.readOps.Add(1)
@@ -254,12 +287,40 @@ func (t *Target) ReadDataSpan(p *vclock.Proc, nbytes int64, sp *trace.Span) {
 		t.mBytesRead.Add(nbytes)
 		sp.EventDurOn("pfs:"+t.cfg.Name+":read", nbytes, start, p.Now()-start, p.Name())
 	}
+	return nil
+}
+
+// WriteData implements hdf5.Driver. Injected faults are swallowed here;
+// the hdf5 charge helpers prefer the fallible path, so this only
+// surfaces for direct un-hooked callers.
+func (t *Target) WriteData(p *vclock.Proc, nbytes int64) {
+	_ = t.TryWriteData(p, nbytes, nil)
+}
+
+// ReadData implements hdf5.Driver.
+func (t *Target) ReadData(p *vclock.Proc, nbytes int64) {
+	_ = t.TryReadData(p, nbytes, nil)
+}
+
+// WriteDataSpan implements hdf5.SpanDriver: identical charge to
+// WriteData, plus a span event covering the transfer in virtual time,
+// attributed to the acting process's track.
+func (t *Target) WriteDataSpan(p *vclock.Proc, nbytes int64, sp *trace.Span) {
+	_ = t.TryWriteData(p, nbytes, sp)
+}
+
+// ReadDataSpan implements hdf5.SpanDriver.
+func (t *Target) ReadDataSpan(p *vclock.Proc, nbytes int64, sp *trace.Span) {
+	_ = t.TryReadData(p, nbytes, sp)
 }
 
 // MetaOp implements hdf5.Driver.
 func (t *Target) MetaOp(p *vclock.Proc) {
 	if p == nil {
 		return
+	}
+	if t.hook != nil {
+		t.hook.BeforeMeta(p, t.cfg.Name)
 	}
 	p.Sleep(t.cfg.MetaLatency)
 	t.metaOps.Add(1)

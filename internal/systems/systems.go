@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"asyncio/internal/faults"
 	"asyncio/internal/memsys"
 	"asyncio/internal/metrics"
 	"asyncio/internal/pfs"
@@ -47,6 +48,11 @@ type System struct {
 	// layer and workloads wire connectors/engines through it. Call
 	// Metrics.EnableSeries() before the run to record time series.
 	Metrics *metrics.Registry
+	// Faults is the run's fault injector, attached to the storage
+	// targets at construction; nil for healthy runs. Workloads wire it
+	// into their connectors (see workloads/harness) and core inherits
+	// its degradation policy.
+	Faults *faults.Injector
 }
 
 // Option tweaks a System during construction.
@@ -56,6 +62,7 @@ type config struct {
 	contentionSeed int64
 	day            int64
 	contention     bool
+	faults         *faults.Injector
 }
 
 // WithContention enables day-to-day backend contention, deterministic in
@@ -67,6 +74,13 @@ func WithContention(seed, day int64) Option {
 		c.contentionSeed = seed
 		c.day = day
 	}
+}
+
+// WithFaults attaches a fault injector to the system: its schedule is
+// installed on every storage target and its slowdown windows are
+// scheduled on the clock. One injector serves one system/run.
+func WithFaults(in *faults.Injector) Option {
+	return func(c *config) { c.faults = in }
 }
 
 // Summit builds a Summit allocation of the given node count.
@@ -159,6 +173,14 @@ func finish(s *System, cfg config) {
 	s.BurstBuffer.Instrument(s.Metrics)
 	if cfg.contention {
 		s.PFS.SetContentionFactor(pfs.ContentionForDay(cfg.contentionSeed, cfg.day))
+	}
+	if cfg.faults != nil {
+		s.Faults = cfg.faults
+		targets := []*pfs.Target{s.PFS}
+		if s.BurstBuffer != nil {
+			targets = append(targets, s.BurstBuffer)
+		}
+		cfg.faults.Attach(s.Clk, s.Metrics, targets...)
 	}
 }
 

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV asserts the trace CSV parser never panics and that any
+// input it accepts survives an export/re-import round trip: records that
+// parsed once must serialize to a CSV that parses again to the same
+// number of records. (The overflow guard in parseRow exists because this
+// harness found durations large enough to wrap time.Duration negative,
+// which made WriteCSV output unreadable.)
+func FuzzReadCSV(f *testing.F) {
+	var valid bytes.Buffer
+	_ = WriteCSV(&valid, []Record{
+		{Epoch: 0, Mode: Sync, Ranks: 6, Bytes: 1 << 20, IOTime: 1e9, CompTime: 3e10},
+		{Epoch: 1, Mode: Async, Ranks: 6, Bytes: 1 << 20, IOTime: 5e7, CompTime: 3e10, DrainTime: 2e8},
+	})
+	seeds := [][]byte{
+		valid.Bytes(),
+		[]byte("epoch,mode,ranks,bytes,io_seconds,comp_seconds,drain_seconds,rate_bytes_per_sec\n"),
+		[]byte("epoch,mode,ranks,bytes,io_seconds,comp_seconds,drain_seconds,rate_bytes_per_sec\n0,sync,1,8,0.5,1,0,16\n"),
+		[]byte("epoch,mode,ranks,bytes,io_seconds,comp_seconds,drain_seconds,rate_bytes_per_sec\n0,walk,1,8,0.5,1,0,16\n"),
+		[]byte("epoch,mode,ranks,bytes,io_seconds,comp_seconds,drain_seconds,rate_bytes_per_sec\n0,sync,1,8,1e300,1,0,16\n"),
+		[]byte(""),
+		[]byte("not,a,trace\n1,2,3\n"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, recs); err != nil {
+			t.Fatalf("exporting %d accepted records: %v", len(recs), err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-importing exported records: %v\nexport:\n%s", err, buf.Bytes())
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count: %d → %d", len(recs), len(again))
+		}
+	})
+}

@@ -196,6 +196,11 @@ func parseRow(row []string) (Record, error) {
 		if secs[i] < 0 {
 			return r, fmt.Errorf("column %s: negative duration %v", csvHeader[4+i], secs[i])
 		}
+		// Beyond ~292 years the nanosecond conversion overflows int64 and
+		// the duration would come back negative.
+		if secs[i] > float64(math.MaxInt64)/float64(time.Second) {
+			return r, fmt.Errorf("column %s: duration %v overflows", csvHeader[4+i], secs[i])
+		}
 	}
 	r.IOTime = time.Duration(secs[0] * float64(time.Second))
 	r.CompTime = time.Duration(secs[1] * float64(time.Second))

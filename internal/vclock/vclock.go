@@ -90,10 +90,7 @@ func (c *Clock) Go(name string, fn func(p *Proc)) {
 			c.mu.Lock()
 			c.alive--
 			delete(c.procs, p)
-			if c.alive == 0 {
-				c.idle.Broadcast()
-			}
-			c.unblockLocked() // running--; may advance time
+			c.unblockLocked() // running--; may advance time or end the run
 			c.mu.Unlock()
 		}()
 		fn(p)
@@ -121,11 +118,13 @@ func (c *Clock) Hold() (release func()) {
 }
 
 // Wait blocks the host goroutine (in real time) until every process has
-// finished. It returns an error if the clock deadlocked.
+// finished and no timer callback is in flight, so post-Wait reads of the
+// clock see a quiescent simulation. It returns an error if the clock
+// deadlocked.
 func (c *Clock) Wait() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for c.alive > 0 && !c.dead {
+	for (c.alive > 0 || c.running > 0) && !c.dead {
 		c.idle.Wait()
 	}
 	if c.dead {
@@ -273,6 +272,16 @@ func (c *Clock) unblockLocked() {
 
 func (c *Clock) maybeAdvanceLocked() {
 	if c.running > 0 || c.dead {
+		return
+	}
+	if c.alive == 0 {
+		// The last process has exited: the run is over. Time never
+		// advances past the final process, so timers still pending
+		// (e.g. fault windows scheduled beyond the end of the run)
+		// stay unfired and post-run reads of Now() are deterministic.
+		// This is also the only place Wait is woken, which guarantees
+		// it cannot return while a timer callback is in flight.
+		c.idle.Broadcast()
 		return
 	}
 	// Drop canceled entries from the front.

@@ -70,19 +70,32 @@ func NewEnv(ctx *core.RankCtx, eng *taskengine.Engine, raw *hdf5.File, opts Opti
 		copyModel = asyncvol.CopyFunc(ctx.Sys.MemcpyModel(ctx.Rank))
 	}
 	eng.SetMetrics(ctx.Sys.Metrics)
-	conn := asyncvol.New(eng, fmt.Sprintf("rank%d", ctx.Rank), asyncvol.Options{
+	avOpts := asyncvol.Options{
 		Copy:        copyModel,
 		Materialize: opts.Materialize,
 		Aggregate:   opts.AsyncAggregate,
 		Metrics:     ctx.Sys.Metrics,
-	})
+	}
+	syncPL := opts.SyncPipeline
+	if in := ctx.Sys.Faults; in != nil {
+		// A faulted system retries on both paths: the connector's
+		// background executor and (absent a caller-supplied pipeline)
+		// the synchronous route. Assign the interface field only from a
+		// non-nil injector so the nil check inside asyncvol stays valid.
+		avOpts.Faults = in
+		avOpts.ExecStages = []ioreq.Stage{in.RetryStage()}
+		if syncPL == nil {
+			syncPL = ioreq.New(in.RetryStage()).WithMetrics(ctx.Sys.Metrics)
+		}
+	}
+	conn := asyncvol.New(eng, fmt.Sprintf("rank%d", ctx.Rank), avOpts)
 	return &Env{
 		Rank:      ctx.Rank,
 		Conn:      conn,
 		AsyncFile: conn.Wrap(raw),
-		SyncFile:  vol.Native{Pipeline: opts.SyncPipeline}.Wrap(raw),
+		SyncFile:  vol.Native{Pipeline: syncPL}.Wrap(raw),
 		ES:        asyncvol.NewEventSet(),
-		syncPL:    opts.SyncPipeline,
+		syncPL:    syncPL,
 	}
 }
 
