@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
 	"sort"
 	"time"
 
@@ -25,22 +26,39 @@ import (
 	"asyncio/internal/experiments"
 	"asyncio/internal/metrics"
 	"asyncio/internal/perfetto"
+	"asyncio/internal/simbench"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "", "experiment id (see -list) or \"all\"")
-		scale      = flag.String("scale", "reduced", "sweep scale: reduced or full")
-		list       = flag.Bool("list", false, "list experiment ids and exit")
-		timings    = flag.Bool("timings", false, "print wall-clock time per experiment")
-		traceJSON  = flag.String("trace-json", "", "write the last run's Chrome trace-event JSON (Perfetto) to this path")
-		metricsCSV = flag.String("metrics", "", "write every run's metrics registry (labeled, concatenated CSV) to this path")
-		faultSpec  = flag.String("faults", "", "fault-injection spec applied to every run (see internal/faults)")
+		exp          = flag.String("exp", "", "experiment id (see -list) or \"all\"")
+		scale        = flag.String("scale", "reduced", "sweep scale: reduced or full")
+		list         = flag.Bool("list", false, "list experiment ids and exit")
+		timings      = flag.Bool("timings", false, "print wall-clock time per experiment")
+		traceJSON    = flag.String("trace-json", "", "write the last run's Chrome trace-event JSON (Perfetto) to this path")
+		metricsCSV   = flag.String("metrics", "", "write every run's metrics registry (labeled, concatenated CSV) to this path")
+		faultSpec    = flag.String("faults", "", "fault-injection spec applied to every run (see internal/faults)")
+		parallel     = flag.Int("parallel", 0, "workers for independent experiment points (0 = GOMAXPROCS, 1 = serial)")
+		selfbench    = flag.Bool("selfbench", false, "benchmark the simulator itself and exit")
+		selfbenchOut = flag.String("selfbench-out", "BENCH_simulator.json", "where -selfbench writes its JSON report")
 	)
 	flag.Parse()
 
+	// The simulator is allocation-heavy and latency-insensitive; a high
+	// GC target trades heap headroom for a large wall-clock win on the
+	// big sweeps. An explicit GOGC still takes precedence.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(400)
+	}
+
 	if err := experiments.SetDefaultFaults(*faultSpec); err != nil {
 		fatalf("-faults: %v", err)
+	}
+	experiments.SetParallelism(*parallel)
+
+	if *selfbench {
+		runSelfbench(*scale, *selfbenchOut)
+		return
 	}
 
 	reg := experiments.Registry()
@@ -85,12 +103,15 @@ func main() {
 	// Experiments construct their systems (and so their registries)
 	// internally; the observer hook collects each completed run's report
 	// so observability data can be exported without touching every
-	// experiment. Runs execute sequentially.
+	// experiment. The observer's report order is part of the output
+	// (metrics CSV labels, "last run" trace selection), so observed
+	// generation forces the serial path regardless of -parallel.
 	var reports []*core.Report
 	if *traceJSON != "" || *metricsCSV != "" {
 		metrics.SetSeriesDefault(true)
 		core.SetRunObserver(func(rep *core.Report) { reports = append(reports, rep) })
 		defer core.SetRunObserver(nil)
+		experiments.SetParallelism(1)
 	}
 
 	for _, id := range run {
@@ -139,6 +160,38 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatalf("closing trace JSON: %v", err)
 		}
+	}
+}
+
+// runSelfbench benchmarks the simulator itself (engine microbenchmarks
+// plus a stable subset of figure generators) and writes the JSON report
+// both to stdout and to the given path.
+func runSelfbench(scale, out string) {
+	var sc experiments.Scale
+	switch scale {
+	case "reduced":
+		sc = experiments.ReducedScale()
+	case "full":
+		sc = experiments.FullScale()
+	default:
+		fatalf("unknown scale %q (want reduced or full)", scale)
+	}
+	rep, err := simbench.Run(sc)
+	if err != nil {
+		fatalf("selfbench: %v", err)
+	}
+	if err := rep.WriteJSON(os.Stdout); err != nil {
+		fatalf("selfbench: %v", err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatalf("selfbench: %v", err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		fatalf("selfbench: writing %s: %v", out, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("selfbench: closing %s: %v", out, err)
 	}
 }
 

@@ -343,9 +343,14 @@ func (c *Connector) enqueue(req *ioreq.Request) error {
 	}
 	t := c.push(req.Proc, taskName(req.Op), func(p *vclock.Proc) error {
 		// Charge the transfer to the background stream's process: the
-		// overlap with application compute the paper measures.
-		req.Proc = p
-		err := c.exec.Do(req)
+		// overlap with application compute the paper measures. The
+		// stream runs a copy — the submitting rank can be runnable at
+		// the same virtual instant and must never observe this task's
+		// mutations — while the staging release keeps the original
+		// pointer, which keys the staged-bytes accounting.
+		r := *req
+		r.Proc = p
+		err := c.exec.Do(&r)
 		c.releaseStaged(p.Now(), req)
 		return err
 	})
@@ -620,10 +625,17 @@ func (ag *asyncGroup) deferMeta(pr vol.Props, n int) error {
 // uncharged strips the acting process so the native call costs nothing.
 func uncharged() vol.Props { return vol.Props{} }
 
-// pathOps counts metadata round trips for a path walk.
+// pathOps counts metadata round trips for a path walk, without
+// allocating the component slice (it runs on every queued operation).
 func pathOps(path string) int {
 	n := 0
-	for _, part := range strings.Split(path, "/") {
+	for rest := path; rest != ""; {
+		var part string
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			part, rest = rest[:i], rest[i+1:]
+		} else {
+			part, rest = rest, ""
+		}
 		if part != "" {
 			n++
 		}

@@ -33,43 +33,58 @@ func AblationAggregation(scale Scale) (*Table, error) {
 		Title:  "Ablation: collective write aggregation vs direct dispatch, small-request VPIC-IO, congested Lustre (sync)",
 		XLabel: "MPI ranks", YLabel: "GB/s",
 	}
-	var ranks, plain, agged []float64
-	for _, n := range nodes {
-		var dispatches [2]int64
-		for i, window := range []bool{false, true} {
-			sys := newSystem("cori", n)
-			target := pfs.NewTarget(sys.Clk, pfs.TargetConfig{
-				Name:        "lustre-congested",
-				BackendPeak: 0.3e9,
-				PerFlowBW:   0.1e9,
-				ReqRamp:     1 << 20,
-				MetaLatency: 30 * time.Microsecond,
-				OpLatency:   100 * time.Microsecond,
-			})
-			cfg := vpicio.Config{
-				Steps:            scale.Steps,
-				ParticlesPerRank: particles,
-				ComputeTime:      time.Second,
-				Mode:             core.ForceSync,
-				Target:           target,
-			}
-			if window {
-				cfg.AggWindow = sys.Size()
-			}
-			rep, _, err := vpicio.Run(sys, cfg)
-			if err != nil {
-				return nil, err
-			}
-			dispatches[i] = target.Stats().WriteOps
-			if !window {
-				ranks = append(ranks, float64(rep.Run.Ranks))
-				plain = append(plain, gb(rep.Run.PeakRate()))
-			} else {
-				agged = append(agged, gb(rep.Run.PeakRate()))
-			}
+	// Each (nodes, window) run builds its own congested target on its own
+	// clock, so the grid fans out through RunParallel; notes are emitted
+	// in node order afterwards, matching the serial sweep.
+	type point struct {
+		ranks, rate float64
+		dispatches  int64
+	}
+	points := make([]point, 2*len(nodes))
+	err := RunParallel(len(points), func(i int) error {
+		n := nodes[i/2]
+		window := i%2 == 1
+		sys := newSystem("cori", n)
+		target := pfs.NewTarget(sys.Clk, pfs.TargetConfig{
+			Name:        "lustre-congested",
+			BackendPeak: 0.3e9,
+			PerFlowBW:   0.1e9,
+			ReqRamp:     1 << 20,
+			MetaLatency: 30 * time.Microsecond,
+			OpLatency:   100 * time.Microsecond,
+		})
+		cfg := vpicio.Config{
+			Steps:            scale.Steps,
+			ParticlesPerRank: particles,
+			ComputeTime:      time.Second,
+			Mode:             core.ForceSync,
+			Target:           target,
 		}
+		if window {
+			cfg.AggWindow = sys.Size()
+		}
+		rep, _, err := vpicio.Run(sys, cfg)
+		if err != nil {
+			return err
+		}
+		points[i] = point{
+			ranks:      float64(rep.Run.Ranks),
+			rate:       gb(rep.Run.PeakRate()),
+			dispatches: target.Stats().WriteOps,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ranks, plain, agged []float64
+	for ni := range nodes {
+		direct, win := points[2*ni], points[2*ni+1]
+		ranks = append(ranks, direct.ranks)
+		plain = append(plain, direct.rate)
+		agged = append(agged, win.rate)
 		t.note("%d ranks: %d write dispatches direct, %d aggregated",
-			int(ranks[len(ranks)-1]), dispatches[0], dispatches[1])
+			int(direct.ranks), direct.dispatches, win.dispatches)
 	}
 	t.Series = []Series{
 		{Name: "sync direct", X: ranks, Y: plain},

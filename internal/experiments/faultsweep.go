@@ -57,33 +57,49 @@ func FaultSweep(scale Scale) (*Table, error) {
 		Title:  fmt.Sprintf("VPIC-IO under injected transient I/O errors, Summit (%d nodes)", nodes),
 		XLabel: "error rate", YLabel: "GB/s",
 	}
-	var xs, syncY, asyncY []float64
-	for _, rate := range rates {
-		xs = append(xs, rate)
-		var retries [2]int64
-		for i, mode := range []core.Mode{core.ForceSync, core.ForceAsync} {
-			in, err := faults.New(fmt.Sprintf("seed=11;err=*:%g;retries=10", rate))
-			if err != nil {
-				return nil, err
-			}
-			sys := newSystem("summit", nodes, systems.WithFaults(in))
-			rep, _, err := vpicio.Run(sys, vpicio.Config{
-				Steps: scale.Steps, ComputeTime: 30 * time.Second, Mode: mode,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("faultsweep rate=%g %v: %w", rate, mode, err)
-			}
-			if c := sys.Metrics.FindCounter(faults.MetricRetries); c != nil {
-				retries[i] = c.Value()
-			}
-			if mode == core.ForceSync {
-				syncY = append(syncY, gb(rep.Run.PeakRate()))
-			} else {
-				asyncY = append(asyncY, gb(rep.Run.PeakRate()))
-			}
+	// Every (rate, mode) run is independent — its own seeded injector,
+	// clock, and system — so the sweep fans out through RunParallel with
+	// results and retry counts stored by index; the per-rate notes are
+	// then emitted in order, identical to the serial sweep.
+	type point struct {
+		rate    float64
+		retries int64
+	}
+	points := make([]point, 2*len(rates))
+	err := RunParallel(len(points), func(i int) error {
+		rate := rates[i/2]
+		mode := core.ForceSync
+		if i%2 == 1 {
+			mode = core.ForceAsync
 		}
+		in, err := faults.New(fmt.Sprintf("seed=11;err=*:%g;retries=10", rate))
+		if err != nil {
+			return err
+		}
+		sys := newSystem("summit", nodes, systems.WithFaults(in))
+		rep, _, err := vpicio.Run(sys, vpicio.Config{
+			Steps: scale.Steps, ComputeTime: 30 * time.Second, Mode: mode,
+		})
+		if err != nil {
+			return fmt.Errorf("faultsweep rate=%g %v: %w", rate, mode, err)
+		}
+		points[i].rate = gb(rep.Run.PeakRate())
+		if c := sys.Metrics.FindCounter(faults.MetricRetries); c != nil {
+			points[i].retries = c.Value()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var xs, syncY, asyncY []float64
+	for ri, rate := range rates {
+		xs = append(xs, rate)
+		syncY = append(syncY, points[2*ri].rate)
+		asyncY = append(asyncY, points[2*ri+1].rate)
 		if rate > 0 {
-			t.note("rate %g: %d sync / %d async retries absorbed", rate, retries[0], retries[1])
+			t.note("rate %g: %d sync / %d async retries absorbed",
+				rate, points[2*ri].retries, points[2*ri+1].retries)
 		}
 	}
 	t.Series = []Series{

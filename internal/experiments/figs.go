@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"asyncio/internal/core"
@@ -22,18 +23,8 @@ type Generator func(Scale) (*Table, error)
 
 // Registry maps experiment ids (as in DESIGN.md) to generators.
 func Registry() map[string]Generator {
-	return map[string]Generator{
+	reg := map[string]Generator{
 		"fig1":         Fig1Scenarios,
-		"fig3a":        Fig3aVPICWriteSummit,
-		"fig3b":        Fig3bVPICWriteCori,
-		"fig3c":        Fig3cBDCATSReadSummit,
-		"fig3d":        Fig3dBDCATSReadCori,
-		"fig4a":        Fig4aNyxSummit,
-		"fig4b":        Fig4bNyxCori,
-		"fig4c":        Fig4cCastroSummit,
-		"fig4d":        Fig4dCastroCori,
-		"fig5":         Fig5CosmoflowSummit,
-		"fig6":         Fig6EQSIMSummit,
 		"fig7":         Fig7NyxOverlapCori,
 		"fig8":         Fig8VPICVariability,
 		"r2":           ModelAccuracy,
@@ -46,6 +37,11 @@ func Registry() map[string]Generator {
 		"abl-bb":       AblationBurstBuffer,
 		"abl-agg":      AblationAggregation,
 	}
+	for id := range sweepSpecs() {
+		id := id
+		reg[id] = func(scale Scale) (*Table, error) { return genSweep(id, scale) }
+	}
+	return reg
 }
 
 // newSystem builds a fresh clock+system for one run, attaching the
@@ -73,27 +69,40 @@ type sweepPoint struct {
 	syncEst, asyncEst float64 // model estimates from per-run history
 }
 
-// sweep measures both modes across node counts.
+// sweep measures both modes across node counts. Every (nodes, mode)
+// pair is an independent simulation on its own clock and system, so the
+// pairs execute through RunParallel with each result stored at its
+// index — the collected points are identical serial or parallel.
 func sweep(sysName string, nodeCounts []int, run runFn) ([]sweepPoint, error) {
-	var out []sweepPoint
-	for _, nodes := range nodeCounts {
-		pt := sweepPoint{nodes: nodes}
-		for _, mode := range []core.Mode{core.ForceSync, core.ForceAsync} {
-			rep, err := run(sysName, nodes, mode)
-			if err != nil {
-				return nil, fmt.Errorf("%s %d nodes %v: %w", sysName, nodes, mode, err)
-			}
-			pt.ranks = rep.Run.Ranks
-			rates := rep.Run.Rates()
-			if mode == core.ForceSync {
-				pt.sync = rep.Run.PeakRate()
-				pt.syncEst = stats.Mean(rates)
-			} else {
-				pt.async = rep.Run.PeakRate()
-				pt.asyncEst = stats.Mean(rates)
-			}
+	type half struct {
+		ranks     int
+		peak, est float64
+	}
+	halves := make([]half, 2*len(nodeCounts))
+	err := RunParallel(len(halves), func(i int) error {
+		nodes := nodeCounts[i/2]
+		mode := core.ForceSync
+		if i%2 == 1 {
+			mode = core.ForceAsync
 		}
-		out = append(out, pt)
+		rep, err := run(sysName, nodes, mode)
+		if err != nil {
+			return fmt.Errorf("%s %d nodes %v: %w", sysName, nodes, mode, err)
+		}
+		halves[i] = half{ranks: rep.Run.Ranks, peak: rep.Run.PeakRate(), est: stats.Mean(rep.Run.Rates())}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sweepPoint, len(nodeCounts))
+	for i, nodes := range nodeCounts {
+		s, a := halves[2*i], halves[2*i+1]
+		out[i] = sweepPoint{
+			nodes: nodes, ranks: s.ranks,
+			sync: s.peak, syncEst: s.est,
+			async: a.peak, asyncEst: a.est,
+		}
 	}
 	return out, nil
 }
@@ -166,152 +175,227 @@ func rateTable(id, title string, pts []sweepPoint, kind estKind) *Table {
 	return t
 }
 
-// Fig3aVPICWriteSummit is Fig. 3a: VPIC-IO weak-scaling writes, Summit.
-func Fig3aVPICWriteSummit(scale Scale) (*Table, error) {
-	return vpicFig("fig3a", "VPIC-IO write aggregate bandwidth, Summit (weak scaling)",
-		"summit", scale.SummitNodes, scale.Steps)
+// sweepSpec declares a plain rate figure — a (nodes × mode) sweep of
+// one workload on one system — in two separable phases: run(scale)
+// produces the simulation runner (the expensive part), and the
+// title/kind/notes drive assembly into a Table (regression fits, cheap).
+// The split lets the wall-clock benchmarks time simulation without
+// re-fitting tables, and keeps every such figure on the parallel sweep
+// path.
+type sweepSpec struct {
+	title string
+	sys   string
+	nodes func(Scale) []int
+	run   func(Scale) runFn
+	kind  estKind
+	notes []string
 }
 
-// Fig3bVPICWriteCori is Fig. 3b: VPIC-IO weak-scaling writes, Cori.
-func Fig3bVPICWriteCori(scale Scale) (*Table, error) {
-	return vpicFig("fig3b", "VPIC-IO write aggregate bandwidth, Cori-Haswell (weak scaling)",
-		"cori", scale.CoriNodes, scale.Steps)
-}
+func summitNodes(s Scale) []int { return s.SummitNodes }
+func coriNodes(s Scale) []int   { return s.CoriNodes }
 
-func vpicFig(id, title, sysName string, nodes []int, steps int) (*Table, error) {
-	pts, err := sweep(sysName, nodes, func(sn string, n int, mode core.Mode) (*core.Report, error) {
+func vpicRun(scale Scale) runFn {
+	return func(sn string, n int, mode core.Mode) (*core.Report, error) {
 		rep, _, err := vpicio.Run(newSystem(sn, n), vpicio.Config{
-			Steps: steps, ComputeTime: 30 * time.Second, Mode: mode,
+			Steps: scale.Steps, ComputeTime: 30 * time.Second, Mode: mode,
 		})
 		return rep, err
-	})
+	}
+}
+
+func bdcatsRun(scale Scale) runFn {
+	return func(sn string, n int, mode core.Mode) (*core.Report, error) {
+		return bdcats.Run(newSystem(sn, n), bdcats.Config{
+			Steps: scale.Steps, ComputeTime: 30 * time.Second, Mode: mode,
+		}, nil)
+	}
+}
+
+func nyxRun(scale Scale, large bool) runFn {
+	return func(sn string, n int, mode core.Mode) (*core.Report, error) {
+		cfg := nyx.SmallConfig()
+		if large {
+			cfg = nyx.LargeConfig()
+		}
+		cfg.Plotfiles = scale.Steps
+		cfg.TimePerStep = 2 * time.Second
+		cfg.Mode = mode
+		return nyx.Run(newSystem(sn, n), cfg)
+	}
+}
+
+func castroRun(scale Scale) runFn {
+	return func(sn string, n int, mode core.Mode) (*core.Report, error) {
+		return castro.Run(newSystem(sn, n), castro.Config{
+			Checkpoints: scale.Steps, ComputeTime: 25 * time.Second, Mode: mode,
+		})
+	}
+}
+
+func sweepSpecs() map[string]sweepSpec {
+	return map[string]sweepSpec{
+		"fig3a": {
+			title: "VPIC-IO write aggregate bandwidth, Summit (weak scaling)",
+			sys:   "summit", nodes: summitNodes, run: vpicRun, kind: estRegression,
+			notes: []string{"compute phase 30 s; 8 properties × 8Mi particles (≈32 MB/property) per rank"},
+		},
+		"fig3b": {
+			title: "VPIC-IO write aggregate bandwidth, Cori-Haswell (weak scaling)",
+			sys:   "cori", nodes: coriNodes, run: vpicRun, kind: estRegression,
+			notes: []string{"compute phase 30 s; 8 properties × 8Mi particles (≈32 MB/property) per rank"},
+		},
+		"fig3c": {
+			title: "BD-CATS-IO read aggregate bandwidth, Summit (weak scaling)",
+			sys:   "summit", nodes: summitNodes, run: bdcatsRun, kind: estRegression,
+			notes: []string{"first time step reads synchronously; later steps are served from prefetch staging"},
+		},
+		"fig3d": {
+			title: "BD-CATS-IO read aggregate bandwidth, Cori-Haswell (weak scaling)",
+			sys:   "cori", nodes: coriNodes, run: bdcatsRun, kind: estRegression,
+			notes: []string{"first time step reads synchronously; later steps are served from prefetch staging"},
+		},
+		"fig4a": {
+			title: "Nyx (large, 2048³) plotfile aggregate bandwidth, Summit (strong scaling)",
+			sys:   "summit", nodes: summitNodes,
+			run:   func(s Scale) runFn { return nyxRun(s, true) },
+			kind:  estHistory,
+			notes: []string{"plotfile every 50 steps; per-rank data shrinks with rank count"},
+		},
+		"fig4b": {
+			title: "Nyx (small, 256³) plotfile aggregate bandwidth, Cori-Haswell (strong scaling)",
+			sys:   "cori", nodes: coriNodes,
+			run:   func(s Scale) runFn { return nyxRun(s, false) },
+			kind:  estHistory,
+			notes: []string{"small per-rank requests keep sync poor and cap the async staging rate (§V-A3)"},
+		},
+		"fig4c": {
+			title: "Castro checkpoint aggregate bandwidth, Summit (strong scaling)",
+			sys:   "summit", nodes: summitNodes, run: castroRun, kind: estHistory,
+			notes: []string{"128³ domain, 6 components, 2 particles/cell"},
+		},
+		"fig4d": {
+			title: "Castro checkpoint aggregate bandwidth, Cori-Haswell (strong scaling)",
+			sys:   "cori", nodes: coriNodes, run: castroRun, kind: estHistory,
+			notes: []string{"128³ domain, 6 components, 2 particles/cell"},
+		},
+		"fig5": {
+			title: "Cosmoflow batch-read aggregate bandwidth, Summit",
+			sys:   "summit", nodes: summitNodes,
+			run: func(scale Scale) runFn {
+				return func(sn string, n int, mode core.Mode) (*core.Report, error) {
+					return cosmoflow.Run(newSystem(sn, n), cosmoflow.Config{
+						Epochs: 1, StepsPerEpoch: scale.Steps + 1,
+						TrainTime: 60 * time.Second, Mode: mode,
+					})
+				}
+			},
+			kind:  estHistory,
+			notes: []string{"128³ voxel samples, batch size 8; async = double-buffered DataLoader"},
+		},
+		"fig6": {
+			title: "EQSIM checkpoint aggregate bandwidth, Summit (strong scaling)",
+			sys:   "summit", nodes: summitNodes,
+			run: func(scale Scale) runFn {
+				return func(sn string, n int, mode core.Mode) (*core.Report, error) {
+					return eqsim.Run(newSystem(sn, n), eqsim.Config{
+						Checkpoints: scale.Steps, Mode: mode,
+					})
+				}
+			},
+			kind:  estHistory,
+			notes: []string{"grid 600×600×340 (h=50), checkpoint every 100 steps"},
+		},
+	}
+}
+
+// SweepData holds the simulated points of one sweep figure, ready for
+// AssembleSweep. It separates the expensive phase (simulation) from the
+// cheap one (fits and table assembly) so benchmarks can time them apart.
+type SweepData struct {
+	ID  string
+	pts []sweepPoint
+}
+
+// SweepIDs lists the figures that expose the two-phase
+// SimulateSweep/AssembleSweep path, sorted.
+func SweepIDs() []string {
+	specs := sweepSpecs()
+	ids := make([]string, 0, len(specs))
+	for id := range specs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// SimulateSweep runs only the simulations of a sweep figure (in
+// parallel across points) and returns the collected points.
+func SimulateSweep(id string, scale Scale) (*SweepData, error) {
+	sp, ok := sweepSpecs()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: %q is not a sweep figure (see SweepIDs)", id)
+	}
+	pts, err := sweep(sp.sys, sp.nodes(scale), sp.run(scale))
 	if err != nil {
 		return nil, err
 	}
-	t := rateTable(id, title, pts, estRegression)
-	t.note("compute phase 30 s; 8 properties × 8Mi particles (≈32 MB/property) per rank")
+	return &SweepData{ID: id, pts: pts}, nil
+}
+
+// AssembleSweep fits the figure's estimate lines over previously
+// simulated points and builds the Table.
+func AssembleSweep(d *SweepData) (*Table, error) {
+	sp, ok := sweepSpecs()[d.ID]
+	if !ok {
+		return nil, fmt.Errorf("experiments: %q is not a sweep figure (see SweepIDs)", d.ID)
+	}
+	t := rateTable(d.ID, sp.title, d.pts, sp.kind)
+	for _, n := range sp.notes {
+		t.note("%s", n)
+	}
 	return t, nil
 }
+
+func genSweep(id string, scale Scale) (*Table, error) {
+	d, err := SimulateSweep(id, scale)
+	if err != nil {
+		return nil, err
+	}
+	return AssembleSweep(d)
+}
+
+// Fig3aVPICWriteSummit is Fig. 3a: VPIC-IO weak-scaling writes, Summit.
+func Fig3aVPICWriteSummit(scale Scale) (*Table, error) { return genSweep("fig3a", scale) }
+
+// Fig3bVPICWriteCori is Fig. 3b: VPIC-IO weak-scaling writes, Cori.
+func Fig3bVPICWriteCori(scale Scale) (*Table, error) { return genSweep("fig3b", scale) }
 
 // Fig3cBDCATSReadSummit is Fig. 3c: BD-CATS-IO weak-scaling reads,
 // Summit.
-func Fig3cBDCATSReadSummit(scale Scale) (*Table, error) {
-	return bdcatsFig("fig3c", "BD-CATS-IO read aggregate bandwidth, Summit (weak scaling)",
-		"summit", scale.SummitNodes, scale.Steps)
-}
+func Fig3cBDCATSReadSummit(scale Scale) (*Table, error) { return genSweep("fig3c", scale) }
 
 // Fig3dBDCATSReadCori is Fig. 3d: BD-CATS-IO weak-scaling reads, Cori.
-func Fig3dBDCATSReadCori(scale Scale) (*Table, error) {
-	return bdcatsFig("fig3d", "BD-CATS-IO read aggregate bandwidth, Cori-Haswell (weak scaling)",
-		"cori", scale.CoriNodes, scale.Steps)
-}
-
-func bdcatsFig(id, title, sysName string, nodes []int, steps int) (*Table, error) {
-	pts, err := sweep(sysName, nodes, func(sn string, n int, mode core.Mode) (*core.Report, error) {
-		return bdcats.Run(newSystem(sn, n), bdcats.Config{
-			Steps: steps, ComputeTime: 30 * time.Second, Mode: mode,
-		}, nil)
-	})
-	if err != nil {
-		return nil, err
-	}
-	t := rateTable(id, title, pts, estRegression)
-	t.note("first time step reads synchronously; later steps are served from prefetch staging")
-	return t, nil
-}
+func Fig3dBDCATSReadCori(scale Scale) (*Table, error) { return genSweep("fig3d", scale) }
 
 // Fig4aNyxSummit is Fig. 4a: Nyx large configuration (2048³), Summit,
 // strong scaling.
-func Fig4aNyxSummit(scale Scale) (*Table, error) {
-	pts, err := sweep("summit", scale.SummitNodes, func(sn string, n int, mode core.Mode) (*core.Report, error) {
-		cfg := nyx.LargeConfig()
-		cfg.Plotfiles = scale.Steps
-		cfg.TimePerStep = 2 * time.Second
-		cfg.Mode = mode
-		return nyx.Run(newSystem(sn, n), cfg)
-	})
-	if err != nil {
-		return nil, err
-	}
-	t := rateTable("fig4a", "Nyx (large, 2048³) plotfile aggregate bandwidth, Summit (strong scaling)", pts, estHistory)
-	t.note("plotfile every 50 steps; per-rank data shrinks with rank count")
-	return t, nil
-}
+func Fig4aNyxSummit(scale Scale) (*Table, error) { return genSweep("fig4a", scale) }
 
 // Fig4bNyxCori is Fig. 4b: Nyx small configuration (256³), Cori.
-func Fig4bNyxCori(scale Scale) (*Table, error) {
-	pts, err := sweep("cori", scale.CoriNodes, func(sn string, n int, mode core.Mode) (*core.Report, error) {
-		cfg := nyx.SmallConfig()
-		cfg.Plotfiles = scale.Steps
-		cfg.TimePerStep = 2 * time.Second
-		cfg.Mode = mode
-		return nyx.Run(newSystem(sn, n), cfg)
-	})
-	if err != nil {
-		return nil, err
-	}
-	t := rateTable("fig4b", "Nyx (small, 256³) plotfile aggregate bandwidth, Cori-Haswell (strong scaling)", pts, estHistory)
-	t.note("small per-rank requests keep sync poor and cap the async staging rate (§V-A3)")
-	return t, nil
-}
+func Fig4bNyxCori(scale Scale) (*Table, error) { return genSweep("fig4b", scale) }
 
 // Fig4cCastroSummit is Fig. 4c: Castro, Summit, strong scaling.
-func Fig4cCastroSummit(scale Scale) (*Table, error) {
-	return castroFig("fig4c", "Castro checkpoint aggregate bandwidth, Summit (strong scaling)",
-		"summit", scale.SummitNodes, scale.Steps)
-}
+func Fig4cCastroSummit(scale Scale) (*Table, error) { return genSweep("fig4c", scale) }
 
 // Fig4dCastroCori is Fig. 4d: Castro, Cori, strong scaling.
-func Fig4dCastroCori(scale Scale) (*Table, error) {
-	return castroFig("fig4d", "Castro checkpoint aggregate bandwidth, Cori-Haswell (strong scaling)",
-		"cori", scale.CoriNodes, scale.Steps)
-}
-
-func castroFig(id, title, sysName string, nodes []int, steps int) (*Table, error) {
-	pts, err := sweep(sysName, nodes, func(sn string, n int, mode core.Mode) (*core.Report, error) {
-		return castro.Run(newSystem(sn, n), castro.Config{
-			Checkpoints: steps, ComputeTime: 25 * time.Second, Mode: mode,
-		})
-	})
-	if err != nil {
-		return nil, err
-	}
-	t := rateTable(id, title, pts, estHistory)
-	t.note("128³ domain, 6 components, 2 particles/cell")
-	return t, nil
-}
+func Fig4dCastroCori(scale Scale) (*Table, error) { return genSweep("fig4d", scale) }
 
 // Fig5CosmoflowSummit is Fig. 5: Cosmoflow training reads, Summit.
-func Fig5CosmoflowSummit(scale Scale) (*Table, error) {
-	pts, err := sweep("summit", scale.SummitNodes, func(sn string, n int, mode core.Mode) (*core.Report, error) {
-		return cosmoflow.Run(newSystem(sn, n), cosmoflow.Config{
-			Epochs: 1, StepsPerEpoch: scale.Steps + 1,
-			TrainTime: 60 * time.Second, Mode: mode,
-		})
-	})
-	if err != nil {
-		return nil, err
-	}
-	t := rateTable("fig5", "Cosmoflow batch-read aggregate bandwidth, Summit", pts, estHistory)
-	t.note("128³ voxel samples, batch size 8; async = double-buffered DataLoader")
-	return t, nil
-}
+func Fig5CosmoflowSummit(scale Scale) (*Table, error) { return genSweep("fig5", scale) }
 
 // Fig6EQSIMSummit is Fig. 6: EQSIM/SW4 checkpoints, Summit, strong
 // scaling.
-func Fig6EQSIMSummit(scale Scale) (*Table, error) {
-	pts, err := sweep("summit", scale.SummitNodes, func(sn string, n int, mode core.Mode) (*core.Report, error) {
-		return eqsim.Run(newSystem(sn, n), eqsim.Config{
-			Checkpoints: scale.Steps, Mode: mode,
-		})
-	})
-	if err != nil {
-		return nil, err
-	}
-	t := rateTable("fig6", "EQSIM checkpoint aggregate bandwidth, Summit (strong scaling)", pts, estHistory)
-	t.note("grid 600×600×340 (h=50), checkpoint every 100 steps")
-	return t, nil
-}
+func Fig6EQSIMSummit(scale Scale) (*Table, error) { return genSweep("fig6", scale) }
 
 // Fig7NyxOverlapCori is Fig. 7: Nyx on Cori with the number of time
 // steps per computation phase swept, comparing application duration
@@ -330,8 +414,15 @@ func Fig7NyxOverlapCori(scale Scale) (*Table, error) {
 		Title:  fmt.Sprintf("Nyx application duration vs steps per computation phase, Cori (%d nodes)", nodes),
 		XLabel: "steps/phase", YLabel: "seconds",
 	}
-	var xs, syncY, asyncY, syncEst, asyncEst []float64
-	for _, steps := range stepsSweep {
+	// Each steps-per-phase point owns an estimator shared only by its
+	// two runs (sync feeds it, then async), so points are independent
+	// and run in parallel; the two modes within a point stay sequential.
+	type point struct {
+		syncDur, asyncDur, syncEst, asyncEst float64
+	}
+	points := make([]point, len(stepsSweep))
+	err := RunParallel(len(stepsSweep), func(si int) error {
+		steps := stepsSweep[si]
 		est := model.NewEstimator()
 		var durs [2]float64
 		var reps [2]*core.Report
@@ -344,26 +435,34 @@ func Fig7NyxOverlapCori(scale Scale) (*Table, error) {
 			cfg.Estimator = est
 			rep, err := nyx.Run(newSystem("cori", nodes), cfg)
 			if err != nil {
-				return nil, fmt.Errorf("fig7 steps=%d %v: %w", steps, mode, err)
+				return fmt.Errorf("fig7 steps=%d %v: %w", steps, mode, err)
 			}
 			durs[i] = rep.Run.TotalTime().Seconds()
 			reps[i] = rep
 		}
-		xs = append(xs, float64(steps))
-		syncY = append(syncY, durs[0])
-		asyncY = append(asyncY, durs[1])
+		pt := point{syncDur: durs[0], asyncDur: durs[1]}
 		// Model estimate (Eq. 1 + Eq. 2) from the shared estimator fed
 		// by both runs.
 		bytes := reps[0].Run.Records[0].Bytes
 		if ee, ok := est.EstimateEpoch(bytes, reps[0].Run.Ranks); ok {
-			syncEst = append(syncEst, model.EstimateApp(
-				reps[0].Run.InitTime, reps[0].Run.TermTime, ee.Sync, scale.Steps).Seconds())
-			asyncEst = append(asyncEst, model.EstimateApp(
-				reps[1].Run.InitTime, reps[1].Run.TermTime, ee.Async, scale.Steps).Seconds())
-		} else {
-			syncEst = append(syncEst, 0)
-			asyncEst = append(asyncEst, 0)
+			pt.syncEst = model.EstimateApp(
+				reps[0].Run.InitTime, reps[0].Run.TermTime, ee.Sync, scale.Steps).Seconds()
+			pt.asyncEst = model.EstimateApp(
+				reps[1].Run.InitTime, reps[1].Run.TermTime, ee.Async, scale.Steps).Seconds()
 		}
+		points[si] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var xs, syncY, asyncY, syncEst, asyncEst []float64
+	for si, steps := range stepsSweep {
+		xs = append(xs, float64(steps))
+		syncY = append(syncY, points[si].syncDur)
+		asyncY = append(asyncY, points[si].asyncDur)
+		syncEst = append(syncEst, points[si].syncEst)
+		asyncEst = append(asyncEst, points[si].asyncEst)
 	}
 	t.Series = []Series{
 		{Name: "sync", X: xs, Y: syncY},
@@ -386,24 +485,34 @@ func Fig8VPICVariability(scale Scale) (*Table, error) {
 		Title:  fmt.Sprintf("VPIC-IO variability across days, Summit (%d nodes)", nodes),
 		XLabel: "day", YLabel: "GB/s",
 	}
-	var xs, syncY, asyncY []float64
 	const seed = 20230601
+	// Every (day, mode) run is independent: its own clock, system, and
+	// contention factor derived only from (seed, day).
+	rates := make([]float64, 2*scale.Days)
+	err := RunParallel(len(rates), func(i int) error {
+		day := i / 2
+		mode := core.ForceSync
+		if i%2 == 1 {
+			mode = core.ForceAsync
+		}
+		sys := newSystem("summit", nodes, systems.WithContention(seed, int64(day)))
+		rep, _, err := vpicio.Run(sys, vpicio.Config{
+			Steps: scale.Steps, ComputeTime: 30 * time.Second, Mode: mode,
+		})
+		if err != nil {
+			return fmt.Errorf("fig8 day %d %v: %w", day, mode, err)
+		}
+		rates[i] = gb(rep.Run.PeakRate())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var xs, syncY, asyncY []float64
 	for day := 0; day < scale.Days; day++ {
 		xs = append(xs, float64(day))
-		for _, mode := range []core.Mode{core.ForceSync, core.ForceAsync} {
-			sys := newSystem("summit", nodes, systems.WithContention(seed, int64(day)))
-			rep, _, err := vpicio.Run(sys, vpicio.Config{
-				Steps: scale.Steps, ComputeTime: 30 * time.Second, Mode: mode,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig8 day %d %v: %w", day, mode, err)
-			}
-			if mode == core.ForceSync {
-				syncY = append(syncY, gb(rep.Run.PeakRate()))
-			} else {
-				asyncY = append(asyncY, gb(rep.Run.PeakRate()))
-			}
-		}
+		syncY = append(syncY, rates[2*day])
+		asyncY = append(asyncY, rates[2*day+1])
 	}
 	t.Series = []Series{
 		{Name: "sync", X: xs, Y: syncY},
@@ -462,6 +571,11 @@ func maxDur(a, b time.Duration) time.Duration {
 // ModelAccuracy reproduces §V-C's accuracy claims: across a VPIC-IO
 // scaling sweep the linear fits reach r² ≥ 80% for synchronous I/O and
 // ≥ 90% for the asynchronous staging rate.
+//
+// The sweep stays serial on purpose: every run feeds one shared
+// estimator (the Fig. 2 feedback loop accumulates observations run over
+// run), so the points are not independent the way the rate-figure
+// sweeps are.
 func ModelAccuracy(scale Scale) (*Table, error) {
 	est := model.NewEstimator(model.WithFitKinds(model.FitLinearLogRanks, model.FitLinearRanks))
 	var ranks, syncMeas, asyncMeas []float64
@@ -513,7 +627,8 @@ func ModelAccuracy(scale Scale) (*Table, error) {
 }
 
 // R2Values runs ModelAccuracy's underlying fits and returns (syncR2,
-// asyncR2) for programmatic assertions.
+// asyncR2) for programmatic assertions. Serial for the same reason as
+// ModelAccuracy: one estimator accumulates across the whole sweep.
 func R2Values(scale Scale) (float64, float64, error) {
 	est := model.NewEstimator(model.WithFitKinds(model.FitLinearLogRanks, model.FitLinearRanks))
 	for _, nodes := range scale.SummitNodes {
@@ -594,23 +709,34 @@ func AblationZeroCopy(scale Scale) (*Table, error) {
 		Title:  "Ablation: transactional copy vs zero-copy async, VPIC-IO Summit",
 		XLabel: "MPI ranks", YLabel: "s (I/O phase)",
 	}
-	var ranks, withCopy, zeroCopy []float64
-	for _, n := range nodes {
-		for _, zero := range []bool{false, true} {
-			cfg := vpicio.Config{Steps: scale.Steps, ComputeTime: 30 * time.Second, Mode: core.ForceAsync}
-			cfg.Env.ZeroCopy = zero
-			rep, _, err := vpicio.Run(newSystem("summit", n), cfg)
-			if err != nil {
-				return nil, err
-			}
-			io := rep.Run.Records[len(rep.Run.Records)-1].IOTime.Seconds()
-			if zero {
-				zeroCopy = append(zeroCopy, io)
-			} else {
-				ranks = append(ranks, float64(rep.Run.Ranks))
-				withCopy = append(withCopy, io)
-			}
+	type point struct {
+		ranks float64
+		io    float64
+	}
+	points := make([]point, 2*len(nodes))
+	err := RunParallel(len(points), func(i int) error {
+		n := nodes[i/2]
+		zero := i%2 == 1
+		cfg := vpicio.Config{Steps: scale.Steps, ComputeTime: 30 * time.Second, Mode: core.ForceAsync}
+		cfg.Env.ZeroCopy = zero
+		rep, _, err := vpicio.Run(newSystem("summit", n), cfg)
+		if err != nil {
+			return err
 		}
+		points[i] = point{
+			ranks: float64(rep.Run.Ranks),
+			io:    rep.Run.Records[len(rep.Run.Records)-1].IOTime.Seconds(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ranks, withCopy, zeroCopy []float64
+	for i := range nodes {
+		ranks = append(ranks, points[2*i].ranks)
+		withCopy = append(withCopy, points[2*i].io)
+		zeroCopy = append(zeroCopy, points[2*i+1].io)
 	}
 	t.Series = []Series{
 		{Name: "with copy", X: ranks, Y: withCopy},
@@ -623,16 +749,21 @@ func AblationZeroCopy(scale Scale) (*Table, error) {
 // AblationFitKinds compares linear and linear-log fits on saturating
 // synchronous data, justifying the paper's linear-log choice.
 func AblationFitKinds(scale Scale) (*Table, error) {
-	var ranks, rates []float64
-	for _, n := range scale.SummitNodes {
-		rep, _, err := vpicio.Run(newSystem("summit", n), vpicio.Config{
+	ranks := make([]float64, len(scale.SummitNodes))
+	rates := make([]float64, len(scale.SummitNodes))
+	err := RunParallel(len(scale.SummitNodes), func(i int) error {
+		rep, _, err := vpicio.Run(newSystem("summit", scale.SummitNodes[i]), vpicio.Config{
 			Steps: scale.Steps, ComputeTime: 30 * time.Second, Mode: core.ForceSync,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ranks = append(ranks, float64(rep.Run.Ranks))
-		rates = append(rates, gb(rep.Run.PeakRate()))
+		ranks[i] = float64(rep.Run.Ranks)
+		rates[i] = gb(rep.Run.PeakRate())
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t := &Table{
 		ID:     "abl-fit",
@@ -668,25 +799,33 @@ func AblationBurstBuffer(scale Scale) (*Table, error) {
 		Title:  "Extension: Lustre scratch vs burst buffer, sync VPIC-IO on Cori",
 		XLabel: "MPI ranks", YLabel: "GB/s",
 	}
-	var ranks, lustreY, bbY []float64
-	for _, n := range scale.CoriNodes {
-		for _, bb := range []bool{false, true} {
-			sys := newSystem("cori", n)
-			cfg := vpicio.Config{Steps: scale.Steps, ComputeTime: 30 * time.Second, Mode: core.ForceSync}
-			if bb {
-				cfg.Target = sys.BurstBuffer
-			}
-			rep, _, err := vpicio.Run(sys, cfg)
-			if err != nil {
-				return nil, err
-			}
-			if bb {
-				bbY = append(bbY, gb(rep.Run.PeakRate()))
-			} else {
-				ranks = append(ranks, float64(rep.Run.Ranks))
-				lustreY = append(lustreY, gb(rep.Run.PeakRate()))
-			}
+	type point struct {
+		ranks, rate float64
+	}
+	points := make([]point, 2*len(scale.CoriNodes))
+	err := RunParallel(len(points), func(i int) error {
+		n := scale.CoriNodes[i/2]
+		bb := i%2 == 1
+		sys := newSystem("cori", n)
+		cfg := vpicio.Config{Steps: scale.Steps, ComputeTime: 30 * time.Second, Mode: core.ForceSync}
+		if bb {
+			cfg.Target = sys.BurstBuffer
 		}
+		rep, _, err := vpicio.Run(sys, cfg)
+		if err != nil {
+			return err
+		}
+		points[i] = point{ranks: float64(rep.Run.Ranks), rate: gb(rep.Run.PeakRate())}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ranks, lustreY, bbY []float64
+	for i := range scale.CoriNodes {
+		ranks = append(ranks, points[2*i].ranks)
+		lustreY = append(lustreY, points[2*i].rate)
+		bbY = append(bbY, points[2*i+1].rate)
 	}
 	t.Series = []Series{
 		{Name: "lustre", X: ranks, Y: lustreY},
@@ -713,19 +852,32 @@ func AblationStaging(scale Scale) (*Table, error) {
 		{"ssd", func(c *eqsim.Config) { c.Env.SSD = true }},
 		{"gpu+dram", func(c *eqsim.Config) { c.Env.GPU = true; c.Env.Pinned = true }},
 	}
-	var xs []float64
+	type point struct {
+		ranks, rate float64
+	}
+	points := make([]point, len(nodes)*len(kinds))
+	err := RunParallel(len(points), func(i int) error {
+		n := nodes[i/len(kinds)]
+		k := kinds[i%len(kinds)]
+		cfg := eqsim.Config{Checkpoints: scale.Steps, Mode: core.ForceAsync}
+		k.mod(&cfg)
+		rep, err := eqsim.Run(newSystem("summit", n), cfg)
+		if err != nil {
+			return err
+		}
+		points[i] = point{ranks: float64(rep.Run.Ranks), rate: gb(rep.Run.PeakRate())}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, len(nodes))
 	ys := make([][]float64, len(kinds))
-	for _, n := range nodes {
-		xs = append(xs, 0) // replaced below by actual rank count
-		for ki, k := range kinds {
-			cfg := eqsim.Config{Checkpoints: scale.Steps, Mode: core.ForceAsync}
-			k.mod(&cfg)
-			rep, err := eqsim.Run(newSystem("summit", n), cfg)
-			if err != nil {
-				return nil, err
-			}
-			xs[len(xs)-1] = float64(rep.Run.Ranks)
-			ys[ki] = append(ys[ki], gb(rep.Run.PeakRate()))
+	for ni := range nodes {
+		for ki := range kinds {
+			p := points[ni*len(kinds)+ki]
+			xs[ni] = p.ranks
+			ys[ki] = append(ys[ki], p.rate)
 		}
 	}
 	for ki, k := range kinds {

@@ -94,7 +94,16 @@ func (g *Group) walk(tp *TransferProps, path string) (*object, error) {
 	cur := g.o
 	hops := 0
 	var walkErr error
-	for _, part := range strings.Split(path, "/") {
+	// Iterate components without strings.Split: walk runs once per
+	// dataset operation, and the split's slice allocation shows up in
+	// whole-simulation profiles.
+	for rest := path; rest != ""; {
+		var part string
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			part, rest = rest[:i], rest[i+1:]
+		} else {
+			part, rest = rest, ""
+		}
 		if part == "" {
 			continue
 		}

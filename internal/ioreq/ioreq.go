@@ -147,6 +147,10 @@ type Pipeline struct {
 	stages   []Stage
 	terminal func(*Request) error
 	metrics  *metrics.Registry
+	// chain[i] enters the pipeline at stage i (chain[len(stages)] is the
+	// terminal dispatch), memoized at construction so the hot Do path
+	// allocates no closures per request.
+	chain []func(*Request) error
 }
 
 // WithMetrics instruments the pipeline on m and returns it (chainable
@@ -161,6 +165,7 @@ type Pipeline struct {
 // unmetered.
 func (pl *Pipeline) WithMetrics(m *metrics.Registry) *Pipeline {
 	pl.metrics = m
+	pl.build()
 	return pl
 }
 
@@ -176,12 +181,14 @@ func New(extra ...Stage) *Pipeline {
 // inline path terminates at its queue's enqueue function instead of
 // Execute.
 func NewCustom(terminal func(*Request) error, stages ...Stage) *Pipeline {
-	return &Pipeline{stages: stages, terminal: terminal}
+	pl := &Pipeline{stages: stages, terminal: terminal}
+	pl.build()
+	return pl
 }
 
 // Do runs req through the pipeline.
 func (pl *Pipeline) Do(req *Request) error {
-	return pl.nextFrom(0)(req)
+	return pl.chain[0](req)
 }
 
 // Flush dispatches everything buffered in any stage, front to back, so
@@ -190,31 +197,39 @@ func (pl *Pipeline) Do(req *Request) error {
 func (pl *Pipeline) Flush(p *vclock.Proc) error {
 	var first error
 	for i, st := range pl.stages {
-		if err := st.Flush(p, pl.nextFrom(i+1)); err != nil && first == nil {
+		if err := st.Flush(p, pl.chain[i+1]); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
 }
 
-// nextFrom returns the dispatch function entering the pipeline at stage
-// index i (len(stages) = the terminal).
-func (pl *Pipeline) nextFrom(i int) func(*Request) error {
-	if i >= len(pl.stages) {
-		return pl.dispatch
-	}
-	st := pl.stages[i]
-	if pl.metrics == nil {
-		return func(req *Request) error {
-			return st.Process(req, pl.nextFrom(i+1))
+// build memoizes the stage dispatch chain, back to front. Called at
+// construction and again by WithMetrics (which must not race Do/Flush).
+func (pl *Pipeline) build() {
+	pl.chain = make([]func(*Request) error, len(pl.stages)+1)
+	pl.chain[len(pl.stages)] = pl.dispatch
+	for i := len(pl.stages) - 1; i >= 0; i-- {
+		st, next := pl.stages[i], pl.chain[i+1]
+		if pl.metrics == nil {
+			pl.chain[i] = func(req *Request) error {
+				return st.Process(req, next)
+			}
+			continue
 		}
-	}
-	hist := pl.metrics.Histogram("ioreq.stage." + st.Name() + ".seconds")
-	return func(req *Request) error {
-		start := procNow(req.Proc)
-		err := st.Process(req, pl.nextFrom(i+1))
-		hist.Observe((procNow(req.Proc) - start).Seconds())
-		return err
+		hist := pl.metrics.Histogram("ioreq.stage." + st.Name() + ".seconds")
+		pl.chain[i] = func(req *Request) error {
+			// Capture the submitting proc before Process: a terminal may
+			// hand the request to another proc (asyncvol's background
+			// stream) that runs concurrently at this same virtual
+			// instant, so req.Proc must not be re-read afterwards — and
+			// the inclusive latency belongs on the submitter's clock.
+			p := req.Proc
+			start := procNow(p)
+			err := st.Process(req, next)
+			hist.Observe((procNow(p) - start).Seconds())
+			return err
+		}
 	}
 }
 

@@ -1,0 +1,134 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestTimerScheduleProperties drives randomized schedules of AfterFunc,
+// Stop, and Sleep through the clock — 1000 seeded trials — and checks
+// the engine's contract on each:
+//
+//   - every timer either fires exactly once at exactly its scheduled
+//     instant, or was successfully stopped and never fires;
+//   - Stop's return value is truthful (true ⇔ the callback was
+//     prevented);
+//   - callbacks fire in nondecreasing time order, FIFO among
+//     same-instant entries;
+//   - recycled (pooled) entries are never double-fired and stale Timer
+//     handles never cancel a recycled entry.
+//
+// The driver proc and the callbacks never run concurrently (time only
+// advances when all procs block), so the trial's bookkeeping needs no
+// locking of its own — which the -race CI job verifies.
+func TestTimerScheduleProperties(t *testing.T) {
+	const trials = 1000
+	const ops = 120
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		clk := New()
+
+		type timerInfo struct {
+			id      int
+			at      time.Duration
+			handle  *Timer
+			stopped bool // Stop returned true
+		}
+		type firing struct {
+			id int
+			at time.Duration
+		}
+		var timers []*timerInfo
+		var firings []firing
+		fired := make(map[int]int)
+
+		clk.Go("driver", func(p *Proc) {
+			nextID := 0
+			for op := 0; op < ops; op++ {
+				switch rng.Intn(4) {
+				case 0, 1: // schedule (weighted: more timers than stops)
+					d := time.Duration(rng.Intn(50)) * time.Microsecond
+					info := &timerInfo{id: nextID, at: p.Now() + d}
+					nextID++
+					info.handle = clk.AfterFunc(d, func(now time.Duration) {
+						fired[info.id]++
+						firings = append(firings, firing{id: info.id, at: now})
+						if now != info.at {
+							t.Errorf("trial %d: timer %d fired at %v, scheduled for %v",
+								trial, info.id, now, info.at)
+						}
+					})
+					timers = append(timers, info)
+				case 2: // stop a random previously created timer
+					if len(timers) > 0 {
+						info := timers[rng.Intn(len(timers))]
+						if info.handle.Stop() {
+							info.stopped = true
+						}
+					}
+				case 3: // advance time; lets pending timers fire and entries recycle
+					p.Sleep(time.Duration(rng.Intn(40)) * time.Microsecond)
+				}
+			}
+			// Let every remaining timer fire.
+			p.Sleep(time.Millisecond)
+		})
+		if err := clk.Wait(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		for _, info := range timers {
+			n := fired[info.id]
+			switch {
+			case info.stopped && n != 0:
+				t.Errorf("trial %d: timer %d fired %d times after Stop returned true", trial, info.id, n)
+			case !info.stopped && n == 0:
+				t.Errorf("trial %d: timer %d never fired and was never stopped", trial, info.id)
+			case n > 1:
+				t.Errorf("trial %d: timer %d fired %d times", trial, info.id, n)
+			}
+		}
+		for i := 1; i < len(firings); i++ {
+			prev, cur := firings[i-1], firings[i]
+			if cur.at < prev.at {
+				t.Errorf("trial %d: firing order went backwards: %v after %v", trial, cur.at, prev.at)
+			}
+			// FIFO among same-instant entries: creation order == id order.
+			if cur.at == prev.at && cur.id < prev.id {
+				t.Errorf("trial %d: same-instant firings out of creation order: id %d before %d at %v",
+					trial, prev.id, cur.id, cur.at)
+			}
+		}
+		if t.Failed() {
+			t.Fatalf("trial %d failed; seed %d reproduces it", trial, trial)
+		}
+	}
+}
+
+// TestStaleHandleAfterRecycle pins the generation-tag behavior the
+// property test relies on: once a timer has fired and its pooled entry
+// has been reused by a new timer, Stop on the stale handle must return
+// false and must not cancel the new timer.
+func TestStaleHandleAfterRecycle(t *testing.T) {
+	clk := New()
+	var firstFired, secondFired bool
+	var first *Timer
+	clk.Go("driver", func(p *Proc) {
+		first = clk.AfterFunc(time.Microsecond, func(time.Duration) { firstFired = true })
+		p.Sleep(10 * time.Microsecond) // first fires; its entry returns to the pool
+		second := clk.AfterFunc(time.Microsecond, func(time.Duration) { secondFired = true })
+		_ = second
+		if first.Stop() {
+			t.Error("Stop on a fired timer returned true")
+		}
+		p.Sleep(10 * time.Microsecond)
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !firstFired || !secondFired {
+		t.Fatalf("firstFired=%v secondFired=%v, want both true (stale Stop must not cancel the recycled entry)",
+			firstFired, secondFired)
+	}
+}

@@ -15,6 +15,14 @@
 // cancellable timers with callbacks (AfterFunc). Timer callbacks run
 // without the clock lock held and count as runnable work, so a callback
 // may freely use the full public API; time cannot advance underneath it.
+//
+// The event engine is built for throughput: timer entries are pooled and
+// recycled (generation-tagged so a stale Timer handle can never cancel or
+// re-fire a recycled entry), every Proc owns one reusable wake channel,
+// same-instant wakeups are drained as a single batch, callbacks run
+// inline on the advancing goroutine instead of spawning one per batch,
+// and cancellation removes the heap entry in O(log n) via its maintained
+// index rather than leaving garbage for later scans. Now() is lock-free.
 package vclock
 
 import (
@@ -23,6 +31,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -31,6 +40,8 @@ import (
 type Clock struct {
 	mu      sync.Mutex
 	now     time.Duration
+	nowView atomic.Int64 // mirror of now for lock-free Now()
+	events  atomic.Int64 // fired entries (proc wakeups + callbacks)
 	queue   timerHeap
 	seq     int64 // tiebreak for deterministic ordering of same-time entries
 	running int   // procs (and in-flight callbacks) currently runnable
@@ -39,6 +50,9 @@ type Clock struct {
 	idle    *sync.Cond // signalled when alive drops to zero
 	dead    bool       // deadlock detected; clock is poisoned
 	deadMsg string
+
+	free      []*timerEntry             // recycled entries (the pool)
+	cbScratch []func(now time.Duration) // batch buffer for same-instant callbacks
 }
 
 // New returns a Clock set to virtual time zero.
@@ -48,12 +62,24 @@ func New() *Clock {
 	return c
 }
 
+// blocking reasons, formatted lazily only for deadlock reports so the hot
+// Sleep path never touches fmt.
+type procState uint8
+
+const (
+	stateRunning procState = iota
+	stateSleeping
+	stateEventWait
+)
+
 // Proc is a process registered with a Clock. All blocking operations on
 // the clock take the Proc so the scheduler can account for it.
 type Proc struct {
-	c     *Clock
-	name  string
-	state string // human-readable blocking reason, for deadlock reports
+	c       *Clock
+	name    string
+	wake    chan struct{} // reusable cap-1 wake signal; a proc blocks on one thing at a time
+	state   procState
+	stateAt time.Duration // wake deadline when sleeping, for deadlock reports
 }
 
 // Name returns the name the process was spawned with.
@@ -62,20 +88,35 @@ func (p *Proc) Name() string { return p.name }
 // Clock returns the clock the process belongs to.
 func (p *Proc) Clock() *Clock { return p.c }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time. It is lock-free: time cannot
+// advance while any process is runnable, so a running caller always sees
+// a stable value.
 func (c *Clock) Now() time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return time.Duration(c.nowView.Load())
 }
 
 // Now returns the current virtual time.
 func (p *Proc) Now() time.Duration { return p.c.Now() }
 
+// Events returns the number of timer-queue entries fired so far — proc
+// wakeups plus timer callbacks. It is the denominator for the
+// events/second and ns/event throughput metrics the self-benchmark
+// (internal/simbench) reports.
+func (c *Clock) Events() int64 { return c.events.Load() }
+
+// totalEvents accumulates fired entries across every Clock in the
+// process, so throughput can be measured over code (figure generators)
+// that builds clocks internally.
+var totalEvents atomic.Int64
+
+// TotalEvents returns the process-wide count of fired timer-queue
+// entries across all clocks. Monotonic; meant for before/after deltas.
+func TotalEvents() int64 { return totalEvents.Load() }
+
 // Go spawns fn as a new process. It may be called from the host goroutine
 // or from within another process. The process is runnable immediately.
 func (c *Clock) Go(name string, fn func(p *Proc)) {
-	p := &Proc{c: c, name: name}
+	p := &Proc{c: c, name: name, wake: make(chan struct{}, 1)}
 	c.mu.Lock()
 	if c.dead {
 		c.mu.Unlock()
@@ -141,13 +182,17 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	wake := make(chan struct{})
 	c.mu.Lock()
-	c.push(&timerEntry{at: c.now + d, wake: wake})
-	p.state = fmt.Sprintf("sleeping until %v", c.now+d)
+	e := c.alloc()
+	e.at = c.now + d
+	e.wake = p.wake
+	c.push(e)
+	p.state = stateSleeping
+	p.stateAt = e.at
 	c.blockLocked()
 	c.mu.Unlock()
-	<-wake
+	<-p.wake
+	p.state = stateRunning
 }
 
 // Yield lets other runnable work at the current instant proceed.
@@ -185,7 +230,7 @@ func (e *Event) Fire() {
 	e.fired = true
 	for _, ch := range e.waiters {
 		c.running++
-		close(ch)
+		ch <- struct{}{} // cap-1 per-proc channel; a waiter has no other pending wake
 	}
 	e.waiters = nil
 }
@@ -199,18 +244,22 @@ func (e *Event) Wait(p *Proc) {
 		c.mu.Unlock()
 		return
 	}
-	ch := make(chan struct{})
-	e.waiters = append(e.waiters, ch)
-	p.state = "waiting on event"
+	e.waiters = append(e.waiters, p.wake)
+	p.state = stateEventWait
 	c.blockLocked()
 	c.mu.Unlock()
-	<-ch
+	<-p.wake
+	p.state = stateRunning
 }
 
-// Timer is a cancellable scheduled callback created by AfterFunc.
+// Timer is a cancellable scheduled callback created by AfterFunc. The
+// handle is generation-tagged: once the callback fires (or Stop succeeds)
+// the underlying pooled entry may be recycled for an unrelated timer, and
+// the stale handle's Stop becomes an inert no-op.
 type Timer struct {
 	c     *Clock
 	entry *timerEntry
+	gen   uint64
 }
 
 // AfterFunc schedules fn to run at virtual time Now()+d. The callback runs
@@ -223,32 +272,61 @@ func (c *Clock) AfterFunc(d time.Duration, fn func(now time.Duration)) *Timer {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e := &timerEntry{at: c.now + d, fn: fn}
+	e := c.alloc()
+	e.at = c.now + d
+	e.fn = fn
 	c.push(e)
-	return &Timer{c: c, entry: e}
+	return &Timer{c: c, entry: e, gen: e.gen}
 }
 
 // Stop cancels the timer. It reports whether the timer was still pending
-// (true) or had already fired or been stopped (false).
+// (true) or had already fired or been stopped (false). Cancellation
+// removes the entry from the queue in O(log n) via its heap index.
 func (t *Timer) Stop() bool {
-	t.c.mu.Lock()
-	defer t.c.mu.Unlock()
-	if t.entry.canceled || t.entry.fired {
-		return false
+	c := t.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := t.entry
+	if e.gen != t.gen {
+		return false // fired or stopped; the entry may already serve another timer
 	}
-	t.entry.canceled = true
+	heap.Remove(&c.queue, e.index)
+	c.recycle(e)
 	return true
 }
 
-// timerEntry is a heap element: either a proc wakeup (wake != nil) or a
-// scheduled callback (fn != nil).
+// timerEntry is a pooled heap element: either a proc wakeup (wake != nil)
+// or a scheduled callback (fn != nil). index is its heap position,
+// maintained by timerHeap.Swap so removal needs no scan; gen increments
+// on every recycle so stale Timer handles cannot touch a reused entry.
 type timerEntry struct {
-	at       time.Duration
-	seq      int64
-	wake     chan struct{}
-	fn       func(now time.Duration)
-	canceled bool
-	fired    bool
+	at    time.Duration
+	seq   int64
+	index int
+	gen   uint64
+	wake  chan struct{}
+	fn    func(now time.Duration)
+}
+
+// alloc takes an entry from the pool (or makes one). Caller holds c.mu.
+func (c *Clock) alloc() *timerEntry {
+	if n := len(c.free); n > 0 {
+		e := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		return e
+	}
+	return &timerEntry{}
+}
+
+// recycle bumps the entry's generation (invalidating outstanding Timer
+// handles), clears it, and returns it to the pool. Caller holds c.mu.
+func (c *Clock) recycle(e *timerEntry) {
+	e.gen++
+	e.wake = nil
+	e.fn = nil
+	e.index = -1
+	c.free = append(c.free, e)
 }
 
 func (c *Clock) push(e *timerEntry) {
@@ -270,26 +348,32 @@ func (c *Clock) unblockLocked() {
 	c.maybeAdvanceLocked()
 }
 
+// maybeAdvanceLocked advances virtual time while nothing is runnable.
+// Each iteration jumps to the earliest pending instant and fires every
+// entry scheduled there as one batch: proc wakeups are signalled on their
+// reusable channels, and callbacks run inline on this goroutine (with the
+// lock released) rather than on a spawned one — callbacks count as
+// runnable work, so no other goroutine can advance concurrently and the
+// shared batch buffer is safe. The loop (instead of recursion) keeps long
+// callback chains — e.g. a flow server rescheduling its completion timer
+// for the whole run — at constant stack depth. Caller holds c.mu; the
+// lock is held again on return.
 func (c *Clock) maybeAdvanceLocked() {
-	if c.running > 0 || c.dead {
-		return
-	}
-	if c.alive == 0 {
-		// The last process has exited: the run is over. Time never
-		// advances past the final process, so timers still pending
-		// (e.g. fault windows scheduled beyond the end of the run)
-		// stay unfired and post-run reads of Now() are deterministic.
-		// This is also the only place Wait is woken, which guarantees
-		// it cannot return while a timer callback is in flight.
-		c.idle.Broadcast()
-		return
-	}
-	// Drop canceled entries from the front.
-	for c.queue.Len() > 0 && c.queue[0].canceled {
-		heap.Pop(&c.queue)
-	}
-	if c.queue.Len() == 0 {
-		if c.alive > 0 {
+	for {
+		if c.running > 0 || c.dead {
+			return
+		}
+		if c.alive == 0 {
+			// The last process has exited: the run is over. Time never
+			// advances past the final process, so timers still pending
+			// (e.g. fault windows scheduled beyond the end of the run)
+			// stay unfired and post-run reads of Now() are deterministic.
+			// This is also the only place Wait is woken, which guarantees
+			// it cannot return while a timer callback is in flight.
+			c.idle.Broadcast()
+			return
+		}
+		if c.queue.Len() == 0 {
 			// Every process is blocked and nothing is scheduled: the
 			// simulation has deadlocked. Poison the clock so Wait
 			// reports it; the parked process goroutines are leaked,
@@ -297,46 +381,52 @@ func (c *Clock) maybeAdvanceLocked() {
 			c.dead = true
 			c.deadMsg = c.describeStuckLocked()
 			c.idle.Broadcast()
+			return
 		}
-		return
-	}
-	t := c.queue[0].at
-	c.now = t
-	var cbs []*timerEntry
-	for c.queue.Len() > 0 && (c.queue[0].at == t || c.queue[0].canceled) {
-		e := heap.Pop(&c.queue).(*timerEntry)
-		if e.canceled {
-			continue
-		}
-		e.fired = true
-		if e.wake != nil {
-			c.running++
-			close(e.wake)
-		} else {
-			cbs = append(cbs, e)
-		}
-	}
-	if len(cbs) > 0 {
-		// Callbacks count as runnable work so time holds still while
-		// they execute. They run on a fresh goroutine because the
-		// current one belongs to a process that is itself blocking.
-		c.running += len(cbs)
-		go func(now time.Duration) {
-			for _, e := range cbs {
-				e.fn(now)
-				c.mu.Lock()
-				c.unblockLocked()
-				c.mu.Unlock()
+		t := c.queue[0].at
+		c.now = t
+		c.nowView.Store(int64(t))
+		cbs := c.cbScratch[:0]
+		var fired int64
+		for c.queue.Len() > 0 && c.queue[0].at == t {
+			e := heap.Pop(&c.queue).(*timerEntry)
+			fired++
+			if e.wake != nil {
+				c.running++
+				e.wake <- struct{}{}
+			} else {
+				cbs = append(cbs, e.fn)
 			}
-		}(t)
+			c.recycle(e)
+		}
+		c.cbScratch = cbs
+		c.events.Add(fired)
+		totalEvents.Add(fired)
+		if len(cbs) == 0 {
+			return // woke at least one proc; it owns the next advance
+		}
+		// Callbacks count as runnable work so time holds still while
+		// they execute; run them here with the lock dropped.
+		c.running += len(cbs)
+		c.mu.Unlock()
+		for _, fn := range cbs {
+			fn(t)
+		}
+		c.mu.Lock()
+		c.running -= len(cbs)
 	}
 }
 
 func (c *Clock) describeStuckLocked() string {
 	names := make([]string, 0, len(c.procs))
 	for p := range c.procs {
-		st := p.state
-		if st == "" {
+		var st string
+		switch p.state {
+		case stateSleeping:
+			st = fmt.Sprintf("sleeping until %v", p.stateAt)
+		case stateEventWait:
+			st = "waiting on event"
+		default:
 			st = "running"
 		}
 		names = append(names, fmt.Sprintf("%s (%s)", p.name, st))
@@ -346,7 +436,8 @@ func (c *Clock) describeStuckLocked() string {
 		len(names), c.now, strings.Join(names, ", "))
 }
 
-// timerHeap orders entries by time, then insertion sequence.
+// timerHeap orders entries by time, then insertion sequence, and keeps
+// each entry's index current so cancellation can heap.Remove in O(log n).
 type timerHeap []*timerEntry
 
 func (h timerHeap) Len() int { return len(h) }
@@ -356,13 +447,22 @@ func (h timerHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x any)   { *h = append(*h, x.(*timerEntry)) }
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	e := x.(*timerEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
 func (h *timerHeap) Pop() any {
 	old := *h
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
+	e.index = -1
 	*h = old[:n-1]
 	return e
 }

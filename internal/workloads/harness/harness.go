@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"sync"
 
 	"asyncio/internal/asyncvol"
 	"asyncio/internal/core"
@@ -178,15 +179,20 @@ func Slab1D(total, per uint64, rank int) (*hdf5.Dataspace, error) {
 
 // Buffer returns a zeroed buffer of n bytes when materializing, or a
 // shared dummy buffer otherwise (the NullStore discards contents, so
-// sharing is safe and avoids allocating gigabytes across ranks).
+// sharing is safe and avoids allocating gigabytes across ranks). The
+// shared buffer is allocated on first use: discard-mode runs — every
+// figure sweep — never request it, and eagerly zeroing tens of
+// megabytes per run dominated whole-simulation allocation profiles.
 type BufferPool struct {
+	max    int64
+	once   sync.Once
 	shared []byte
 }
 
-// NewBufferPool sizes the shared dummy buffer to the largest per-rank
+// NewBufferPool caps the shared dummy buffer at the largest per-rank
 // request.
 func NewBufferPool(maxBytes int64) *BufferPool {
-	return &BufferPool{shared: make([]byte, maxBytes)}
+	return &BufferPool{max: maxBytes}
 }
 
 // Get returns a buffer of exactly n bytes. Requests beyond the pool's
@@ -196,8 +202,9 @@ func (bp *BufferPool) Get(n int64, materialize bool) []byte {
 	if materialize {
 		return make([]byte, n)
 	}
-	if n > int64(len(bp.shared)) {
-		panic(fmt.Sprintf("harness: buffer request %d exceeds pool %d", n, len(bp.shared)))
+	if n > bp.max {
+		panic(fmt.Sprintf("harness: buffer request %d exceeds pool %d", n, bp.max))
 	}
+	bp.once.Do(func() { bp.shared = make([]byte, bp.max) })
 	return bp.shared[:n]
 }

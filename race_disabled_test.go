@@ -1,0 +1,5 @@
+//go:build !race
+
+package asyncio_test
+
+const raceEnabled = false

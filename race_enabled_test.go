@@ -1,0 +1,7 @@
+//go:build race
+
+package asyncio_test
+
+// raceEnabled reports whether the race detector is compiled in; its
+// ~10× slowdown makes wall-clock regression limits meaningless.
+const raceEnabled = true
