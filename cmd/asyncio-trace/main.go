@@ -5,13 +5,24 @@
 //
 // With -trace-json it additionally exports the run's span trees and
 // metric series as Chrome trace-event JSON (open in ui.perfetto.dev);
-// with -metrics it dumps the metrics registry as CSV.
+// with -metrics it dumps the metrics registry as CSV. Both exports (and
+// the CSV) survive an aborted run: a crash-injected run flushes its
+// partial report before exiting non-zero.
+//
+// Crash-consistency runs (vpic only): -checkpoint-every N commits a
+// durable checkpoint every N epochs (all ranks drain, rank 0 fsyncs);
+// -journal captures a write-ahead journal of asynchronous writes. A run
+// whose fault spec kills a rank or node (crashrank=/crashnode=) then
+// tears the un-fsynced write-back cache at -durability granularity,
+// scans the journal against the surviving image, replays what it can,
+// and prints the classification.
 //
 // Usage:
 //
 //	asyncio-trace -workload vpic -system summit -nodes 16 -mode adaptive -steps 8 -o trace.csv
 //	asyncio-trace -workload bdcats -system cori -nodes 4 -mode async
 //	asyncio-trace -workload vpic -nodes 2 -steps 2 -mode async -trace-json run.json -metrics run-metrics.csv
+//	asyncio-trace -workload vpic -nodes 1 -steps 6 -mode async -faults "crashrank=3@95s" -checkpoint-every 2 -journal
 package main
 
 import (
@@ -23,12 +34,15 @@ import (
 	"asyncio/internal/core"
 	"asyncio/internal/faults"
 	"asyncio/internal/perfetto"
+	"asyncio/internal/pfs"
+	"asyncio/internal/recovery"
 	"asyncio/internal/systems"
 	"asyncio/internal/trace"
 	"asyncio/internal/vclock"
 	"asyncio/internal/workloads/bdcats"
 	"asyncio/internal/workloads/castro"
 	"asyncio/internal/workloads/eqsim"
+	"asyncio/internal/workloads/harness"
 	"asyncio/internal/workloads/nyx"
 	"asyncio/internal/workloads/vpicio"
 )
@@ -45,6 +59,10 @@ func main() {
 		traceJSON  = flag.String("trace-json", "", "write Chrome trace-event JSON (Perfetto) to this path")
 		metricsCSV = flag.String("metrics", "", "write the metrics registry as CSV to this path")
 		faultSpec  = flag.String("faults", "", "fault-injection spec for the run (see internal/faults)")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "durable checkpoint interval in epochs, 0 = off (vpic only)")
+		journal    = flag.Bool("journal", false, "journal asynchronous writes ahead of dispatch (vpic only)")
+		durability = flag.String("durability", "gpfs", "write-back durability semantics on crash: gpfs | lustre")
+		durSeed    = flag.Int64("durability-seed", 1, "seed for the crash tearing draws")
 	)
 	flag.Parse()
 
@@ -81,11 +99,42 @@ func main() {
 		sys.Metrics.EnableSeries()
 	}
 
+	// Crash-consistency plumbing: a durable write-back store with charged
+	// fsync barriers, periodic checkpoints, and (optionally) a write-ahead
+	// journal on the asynchronous path.
+	var kit *harness.CrashKit
+	var ck *harness.Checkpointer
+	if *workload == "vpic" && (*ckptEvery > 0 || *journal) {
+		var dur pfs.DurabilityConfig
+		switch *durability {
+		case "gpfs":
+			dur = pfs.GPFSDurability(*durSeed)
+		case "lustre":
+			dur = pfs.LustreDurability(*durSeed, 8)
+		default:
+			fatalf("unknown durability %q (want gpfs or lustre)", *durability)
+		}
+		kit = harness.NewCrashKit(dur, recovery.DefaultCost(), *journal)
+		ck = harness.NewCheckpointer(*ckptEvery, kit.Journal)
+		ck.Instrument(sys.Metrics)
+		kit.Journal.Instrument(sys.Metrics, *workload)
+	} else if *ckptEvery > 0 || *journal {
+		fatalf("-checkpoint-every/-journal are only wired into the vpic workload")
+	}
+
 	var rep *core.Report
 	var err error
 	switch *workload {
 	case "vpic":
-		rep, _, err = vpicio.Run(sys, vpicio.Config{Steps: *steps, ComputeTime: *compute, Mode: mode})
+		cfg := vpicio.Config{Steps: *steps, ComputeTime: *compute, Mode: mode}
+		if kit != nil {
+			cfg.Store = kit.Durable
+			cfg.Checkpoint = ck
+			if *journal {
+				cfg.Env.AsyncInlineStages = kit.InlineStages()
+			}
+		}
+		rep, _, err = vpicio.Run(sys, cfg)
 	case "bdcats":
 		rep, err = bdcats.Run(sys, bdcats.Config{Steps: *steps, ComputeTime: *compute, Mode: mode}, nil)
 	case "nyx":
@@ -100,7 +149,10 @@ func main() {
 	default:
 		fatalf("unknown workload %q", *workload)
 	}
-	if err != nil {
+	// An aborted run (injected crash, mid-run failure) still carries a
+	// partial report: flush its observability below, then exit non-zero.
+	aborted := err != nil && rep != nil && rep.Aborted
+	if err != nil && !aborted {
 		fatalf("%v", err)
 	}
 
@@ -144,6 +196,24 @@ func main() {
 	fmt.Fprintf(os.Stderr, "%s on %s, %d nodes (%d ranks), %d epochs, mode=%s: total %v, peak %.2f GB/s\n",
 		*workload, sys.Name, sys.Nodes(), rep.Run.Ranks, len(rep.Run.Records), *modeStr,
 		rep.Run.TotalTime().Round(time.Millisecond), rep.Run.PeakRate()/1e9)
+	if aborted {
+		for _, cr := range rep.Crashes {
+			fmt.Fprintf(os.Stderr, "crash at %v: ranks %v (%s)\n", cr.At, cr.Ranks, cr.Err)
+		}
+		if kit != nil {
+			// Power-loss semantics: tear the un-fsynced cache into the base
+			// image, then scan the journal against what survived.
+			if pr := kit.Durable.Crash(clk.Now()); pr != nil {
+				fmt.Fprintf(os.Stderr, "write-back cache at crash: %d dirty bytes → %d flushed, %d torn, %d lost\n",
+					pr.DirtyBytes, pr.Flushed, pr.Torn, pr.Lost)
+			}
+			scan := recovery.Scan(kit.Journal.Bytes(), kit.Base, recovery.ScanOptions{Replay: true})
+			fmt.Fprintf(os.Stderr, "journal scan: %s\n", scan.Summary())
+			fmt.Fprintf(os.Stderr, "last durable checkpoint: epoch %d (restart from %d)\n",
+				ck.LastDurable(), ck.LastDurable()+1)
+		}
+		fatalf("run aborted: %v", err)
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -102,6 +102,12 @@ type Options struct {
 	// between resolve and execute. Stages are shared across connectors
 	// and must be stateless or concurrency-safe.
 	ExecStages []ioreq.Stage
+	// InlineStages are extra stages run on the caller BEFORE the staging
+	// copy (e.g. the write-ahead journal stage from internal/recovery:
+	// WAL semantics require the log append to precede everything else,
+	// including the degraded synchronous dispatch path inside staging).
+	// Stages are shared across connectors and must be concurrency-safe.
+	InlineStages []ioreq.Stage
 }
 
 // Connector is the asynchronous connector for one simulated process.
@@ -183,7 +189,7 @@ func New(eng *taskengine.Engine, name string, opts Options) *Connector {
 		c.mStallWait = m.Histogram("asyncvol.backpressure_wait_seconds")
 	}
 	c.stream = eng.NewStream("asyncvol:" + name)
-	stages := []ioreq.Stage{stagingStage{c: c}}
+	stages := append(append([]ioreq.Stage(nil), opts.InlineStages...), stagingStage{c: c})
 	if opts.Aggregate.Enabled() {
 		c.agg = ioreq.NewAgg(opts.Aggregate)
 		stages = append(stages, c.agg)
@@ -210,6 +216,13 @@ func (c *Connector) AggStats() ioreq.AggStats {
 // aggregation chain are NOT dispatched — call Drain (or close the file)
 // first, as harness.Env.Term does.
 func (c *Connector) Shutdown() { c.stream.Shutdown() }
+
+// Kill crashes the connector: the background stream's process dies at
+// the current virtual instant, queued and in-flight operations complete
+// with reason, and later submissions fail. Buffered aggregation chains
+// are abandoned un-dispatched — precisely the data-loss window that
+// crash-consistency experiments measure.
+func (c *Connector) Kill(reason error) { c.stream.Kill(reason) }
 
 // Drain flushes the inline pipeline (dispatching any aggregation
 // chains), then blocks p until every operation pushed so far has

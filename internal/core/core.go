@@ -122,6 +122,42 @@ type RankCtx struct {
 	// request the phase issues — including work completing later on a
 	// background stream — records its transfer events here.
 	IOSpan *trace.Span
+
+	crashes *crashTable
+}
+
+// OnCrash registers fn to run when an injected crash kills this rank
+// (after the rank's process dies). Workloads use it to take the rank's
+// background machinery down with it — e.g. asyncvol.Connector.Kill, so
+// queued asynchronous writes die un-issued exactly as they would on a
+// real node loss. No-op when the run has no crash schedule.
+func (ctx *RankCtx) OnCrash(fn func(reason error)) {
+	if ctx.crashes == nil {
+		return
+	}
+	ctx.crashes.register(ctx.Rank, fn)
+}
+
+// crashTable holds per-rank crash cleanup hooks; allocated only when
+// the fault schedule contains crash events.
+type crashTable struct {
+	mu    sync.Mutex
+	hooks [][]func(error)
+}
+
+func (ct *crashTable) register(rank int, fn func(error)) {
+	ct.mu.Lock()
+	ct.hooks[rank] = append(ct.hooks[rank], fn)
+	ct.mu.Unlock()
+}
+
+// take removes and returns rank's hooks, so each runs at most once.
+func (ct *crashTable) take(rank int) []func(error) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	h := ct.hooks[rank]
+	ct.hooks[rank] = nil
+	return h
 }
 
 // Hooks are the workload-specific callbacks. All hooks run on every
@@ -165,6 +201,25 @@ type Report struct {
 	// ModeSwitches lists graceful-degradation demotions/promotions in
 	// order (empty when the policy is off or never tripped).
 	ModeSwitches []ModeSwitch
+	// Crashes lists injected crash events that fired during the run, in
+	// firing order.
+	Crashes []CrashRecord
+	// Aborted is true when the run ended early (injected crash or hook
+	// failure). The report then holds every epoch committed before the
+	// abort — partial observability instead of none.
+	Aborted bool
+	// Err is the abort cause when Aborted (the same error Run returns).
+	Err string
+}
+
+// CrashRecord notes one injected crash that fired.
+type CrashRecord struct {
+	// Node is the crashed node index, or -1 for a single-rank crash.
+	Node int
+	// Ranks lists the killed ranks in ascending order.
+	Ranks []int
+	At    time.Duration
+	Err   string
 }
 
 // runObserver, when set, receives every completed Report. Command-line
@@ -238,20 +293,38 @@ func Run(sys *systems.System, cfg Config, hooks Hooks) (*Report, error) {
 		Spans:     make([]*trace.Span, ranks),
 		Metrics:   sys.Metrics,
 	}
+	var crashes []faults.Crash
+	if sys.Faults != nil {
+		crashes = sys.Faults.Crashes()
+	}
+	var ct *crashTable
+	if len(crashes) > 0 {
+		ct = &crashTable{hooks: make([][]func(error), ranks)}
+	}
 	costs := mpi.DefaultCosts()
 	costs.Metrics = sys.Metrics
 	world := mpi.Run(sys.Clk, ranks, costs, func(c *mpi.Comm) {
-		runRank(c, sys, cfg, hooks, ctl, rep)
+		runRank(c, sys, cfg, hooks, ctl, rep, ct)
 	})
+	timers := scheduleCrashes(sys, crashes, ranks, world, ct, rep)
 	werr := sys.Clk.Wait()
+	for _, t := range timers {
+		t.Stop()
+	}
 	// A hook error aborts the ranks mid-run, which can leave background
 	// streams idle and trip the clock's deadlock detector; the root
 	// cause is the workload error, so report it first.
-	if err := world.Err(); err != nil {
-		return nil, err
+	err := world.Err()
+	if err == nil {
+		err = werr
 	}
-	if werr != nil {
-		return nil, werr
+	if err != nil {
+		// Flush what the run measured before it died: the epochs already
+		// committed, every rank's spans so far, the metrics registry, and
+		// the crash records. Observers (trace export, metric dumps) see
+		// the partial report; callers still get the error.
+		rep.Aborted = true
+		rep.Err = err.Error()
 	}
 	runObserverMu.Lock()
 	obs := runObserver
@@ -259,7 +332,74 @@ func Run(sys *systems.System, cfg Config, hooks Hooks) (*Report, error) {
 	if obs != nil {
 		obs(rep)
 	}
+	if err != nil {
+		return rep, err
+	}
 	return rep, nil
+}
+
+// scheduleCrashes arms one virtual-clock timer per crash event. A node
+// crash kills every rank the node hosts (rank/RanksPerNode == node); a
+// crash aimed at a rank or node outside the run, or firing after all
+// ranks finished, is a no-op. Each victim's process is killed first, the
+// world is aborted at the crash instant (survivors observe a revoked
+// communicator), and then the victims' registered crash hooks take the
+// per-rank background machinery down.
+func scheduleCrashes(sys *systems.System, crashes []faults.Crash, ranks int,
+	world *mpi.World, ct *crashTable, rep *Report) []*vclock.Timer {
+	if len(crashes) == 0 {
+		return nil
+	}
+	// Pay-for-use: the series exists only on runs with a crash schedule.
+	var mCrashes *metrics.Counter
+	if sys.Metrics != nil {
+		mCrashes = sys.Metrics.Counter("core.crashes")
+	}
+	var mu sync.Mutex // serializes same-instant crash callbacks on rep
+	timers := make([]*vclock.Timer, 0, len(crashes))
+	for _, cr := range crashes {
+		cr := cr
+		delay := cr.At - sys.Clk.Now()
+		timers = append(timers, sys.Clk.AfterFunc(delay, func(now time.Duration) {
+			if world.Finished() {
+				return
+			}
+			node := -1
+			var victims []int
+			if cr.Node {
+				node = cr.Index
+				for r := 0; r < ranks; r++ {
+					if r/sys.RanksPerNode == cr.Index {
+						victims = append(victims, r)
+					}
+				}
+			} else if cr.Index < ranks {
+				victims = []int{cr.Index}
+			}
+			if len(victims) == 0 {
+				return
+			}
+			ferr := cr.CrashError()
+			for _, r := range victims {
+				world.Kill(r, ferr)
+				if sp := rep.Spans[r]; sp != nil {
+					sp.EventOn("core:crash("+ferr.Target+")", 0, now, fmt.Sprintf("rank%d", r))
+				}
+				if ct != nil {
+					for _, fn := range ct.take(r) {
+						fn(ferr)
+					}
+				}
+			}
+			mCrashes.Add(1)
+			mu.Lock()
+			rep.Crashes = append(rep.Crashes, CrashRecord{
+				Node: node, Ranks: victims, At: now, Err: ferr.Error(),
+			})
+			mu.Unlock()
+		}))
+	}
+	return timers
 }
 
 func runModeLabel(m Mode) trace.Mode {
@@ -338,11 +478,12 @@ func (ctl *controller) chooseRaw(epoch int, bytes int64, ranks int) (trace.Mode,
 	return est.Better(), est, true
 }
 
-func runRank(c *mpi.Comm, sys *systems.System, cfg Config, hooks Hooks, ctl *controller, rep *Report) {
+func runRank(c *mpi.Comm, sys *systems.System, cfg Config, hooks Hooks, ctl *controller, rep *Report, ct *crashTable) {
 	p := c.Proc()
 	ctx := &RankCtx{
 		Comm: c, P: p, Sys: sys, Rank: c.Rank(),
-		Span: trace.NewSpan(fmt.Sprintf("rank%d", c.Rank())),
+		Span:    trace.NewSpan(fmt.Sprintf("rank%d", c.Rank())),
+		crashes: ct,
 	}
 	// Distinct indices per rank, so no lock is needed.
 	rep.Spans[c.Rank()] = ctx.Span

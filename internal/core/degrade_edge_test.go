@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"asyncio/internal/faults"
+	"asyncio/internal/systems"
+	"asyncio/internal/trace"
+	"asyncio/internal/vclock"
+)
+
+// degradeRun executes a ForceAsync run where rank 0's I/O hook scripts
+// the asyncvol queue-depth gauge per epoch, driving the degradation
+// state machine deterministically.
+func degradeRun(t *testing.T, sys *systems.System, pol DegradePolicy, depths []float64) *Report {
+	t.Helper()
+	hooks := fakeIO(time.Second, 2*time.Second, 100*time.Millisecond, 1<<20)
+	inner := hooks.IO
+	hooks.IO = func(ctx *RankCtx, iter int, mode trace.Mode) (int64, error) {
+		if ctx.Rank == 0 {
+			ctx.Sys.Metrics.Gauge("asyncvol.queue_depth").Set(depths[iter])
+		}
+		return inner(ctx, iter, mode)
+	}
+	rep, err := Run(sys, Config{
+		Workload:   "fake",
+		Iterations: len(depths),
+		Mode:       ForceAsync,
+		Degrade:    pol,
+	}, hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// Demotion requires the queue depth to strictly exceed the watermark:
+// a depth sitting exactly on the watermark is healthy.
+func TestDegradeWatermarkIsExclusive(t *testing.T) {
+	pol := DegradePolicy{Enabled: true, QueueWatermark: 10, HealthyEpochs: 2}
+
+	sys := systems.Summit(vclock.New(), 1)
+	rep := degradeRun(t, sys, pol, []float64{10, 10, 10})
+	if len(rep.ModeSwitches) != 0 {
+		t.Fatalf("depth == watermark demoted: %+v", rep.ModeSwitches)
+	}
+	for _, ep := range rep.Epochs {
+		if ep.Mode != trace.Async {
+			t.Fatalf("epoch %d ran %v at a healthy watermark", ep.Epoch, ep.Mode)
+		}
+	}
+
+	sys = systems.Summit(vclock.New(), 1)
+	rep = degradeRun(t, sys, pol, []float64{10, 10.5, 0, 0})
+	if len(rep.ModeSwitches) == 0 {
+		t.Fatal("depth just above the watermark did not demote")
+	}
+	sw := rep.ModeSwitches[0]
+	if sw.To != trace.Sync || sw.Epoch != 2 {
+		t.Fatalf("first switch = %+v, want demotion effective epoch 2", sw)
+	}
+}
+
+// Re-promotion happens on the Nth consecutive healthy epoch, not the
+// first, and an unhealthy epoch resets the streak.
+func TestDegradeHealthyStreak(t *testing.T) {
+	pol := DegradePolicy{Enabled: true, QueueWatermark: 10, HealthyEpochs: 3}
+
+	// Demote after epoch 0; epochs 1,2,3 are the healthy streak, so the
+	// promotion lands after epoch 3 (effective epoch 4).
+	sys := systems.Summit(vclock.New(), 1)
+	rep := degradeRun(t, sys, pol, []float64{11, 0, 0, 0, 0, 0})
+	var promos []ModeSwitch
+	for _, sw := range rep.ModeSwitches {
+		if sw.To == trace.Async {
+			promos = append(promos, sw)
+		}
+	}
+	if len(promos) != 1 {
+		t.Fatalf("promotions = %+v, want exactly 1", promos)
+	}
+	if promos[0].Epoch != 4 {
+		t.Fatalf("promotion effective epoch %d, want 4 (3rd healthy epoch, not 1st)", promos[0].Epoch)
+	}
+
+	// A relapse mid-streak resets the counter: healthy at 1, unhealthy
+	// at 2, then 3,4,5 healthy → promotion only after epoch 5.
+	sys = systems.Summit(vclock.New(), 1)
+	rep = degradeRun(t, sys, pol, []float64{11, 0, 11, 0, 0, 0, 0})
+	promos = promos[:0]
+	demos := 0
+	for _, sw := range rep.ModeSwitches {
+		if sw.To == trace.Async {
+			promos = append(promos, sw)
+		} else {
+			demos++
+		}
+	}
+	if demos != 1 {
+		t.Fatalf("demotions = %d, want 1 (relapse while degraded is not a new demotion)", demos)
+	}
+	if len(promos) != 1 || promos[0].Epoch != 6 {
+		t.Fatalf("promotions = %+v, want one effective epoch 6 (streak reset by relapse)", promos)
+	}
+}
+
+// Degradation state is per-run: a crash while demoted does not leak the
+// degraded mode into the restarted run.
+func TestDegradeStateClearedOnRestart(t *testing.T) {
+	pol := DegradePolicy{Enabled: true, QueueWatermark: 10, HealthyEpochs: 2}
+
+	// First run: demote after epoch 0, then crash mid-epoch 2.
+	in, err := faults.New("crashrank=1@8s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := systems.Summit(vclock.New(), 1, systems.WithFaults(in))
+	hooks := fakeIO(time.Second, 2*time.Second, 100*time.Millisecond, 1<<20)
+	inner := hooks.IO
+	hooks.IO = func(ctx *RankCtx, iter int, mode trace.Mode) (int64, error) {
+		if ctx.Rank == 0 {
+			ctx.Sys.Metrics.Gauge("asyncvol.queue_depth").Set(11)
+		}
+		return inner(ctx, iter, mode)
+	}
+	rep, err := Run(sys, Config{
+		Workload:   "fake",
+		Iterations: 10,
+		Mode:       ForceAsync,
+		Degrade:    pol,
+	}, hooks)
+	if !faults.IsCrash(err) {
+		t.Fatalf("Run error = %v, want an injected crash", err)
+	}
+	demoted := false
+	for _, sw := range rep.ModeSwitches {
+		if sw.To == trace.Sync {
+			demoted = true
+		}
+	}
+	if !demoted {
+		t.Fatal("first run never demoted; the restart assertion would be vacuous")
+	}
+
+	// Restart (fresh run, healthy queue): epoch 0 must be async again.
+	sys2 := systems.Summit(vclock.New(), 1)
+	rep2 := degradeRun(t, sys2, pol, []float64{0, 0, 0})
+	if len(rep2.ModeSwitches) != 0 {
+		t.Fatalf("restarted run carries mode switches: %+v", rep2.ModeSwitches)
+	}
+	for _, ep := range rep2.Epochs {
+		if ep.Mode != trace.Async {
+			t.Fatalf("restarted run epoch %d ran %v, want async (degraded state must not survive restart)", ep.Epoch, ep.Mode)
+		}
+	}
+}

@@ -29,6 +29,7 @@ func Registry() map[string]Generator {
 		"fig8":         Fig8VPICVariability,
 		"r2":           ModelAccuracy,
 		"faultsweep":   FaultSweep,
+		"crashsweep":   CrashSweep,
 		"micro-mem":    MicroMemcpy,
 		"micro-gpu":    MicroGPUTransfer,
 		"abl-zerocopy": AblationZeroCopy,

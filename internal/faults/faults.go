@@ -25,6 +25,12 @@ const (
 	// KindRetryExhausted wraps the last underlying fault once the retry
 	// policy runs out of attempts or deadline.
 	KindRetryExhausted
+	// KindCrashRank is a single rank killed at a virtual time; its staged
+	// asynchronous data is lost unless journaled and recovered.
+	KindCrashRank
+	// KindCrashNode is a whole node killed at a virtual time (every rank
+	// placed on it dies).
+	KindCrashNode
 )
 
 // String names the kind for error text.
@@ -36,6 +42,10 @@ func (k Kind) String() string {
 		return "outage"
 	case KindRetryExhausted:
 		return "retry-exhausted"
+	case KindCrashRank:
+		return "crash-rank"
+	case KindCrashNode:
+		return "crash-node"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -58,6 +68,8 @@ func (e *Error) Error() string {
 	switch e.Kind {
 	case KindRetryExhausted:
 		return fmt.Sprintf("faults: %s after %d attempts at %s: %v", e.Kind, e.Attempts, e.At, e.Err)
+	case KindCrashRank, KindCrashNode:
+		return fmt.Sprintf("faults: %s %s at %s", e.Kind, e.Target, e.At)
 	default:
 		return fmt.Sprintf("faults: %s %s on %s at %s", e.Kind, e.Op, e.Target, e.At)
 	}
@@ -292,6 +304,30 @@ func (in *Injector) RetryStage() *ioreq.RetryStage {
 // Degrade returns the degradation policy of the schedule; core consumes
 // plain values so the packages stay decoupled.
 func (in *Injector) Degrade() DegradeSpec { return in.spec.Degrade }
+
+// Crashes returns the schedule's crash events; core turns them into
+// virtual-clock kill timers against the run's ranks.
+func (in *Injector) Crashes() []Crash { return in.spec.Crashes }
+
+// IsCrash reports whether err is (or wraps) an injected crash — the
+// expected outcome of a crash-chaos run, as opposed to a genuine
+// failure.
+func IsCrash(err error) bool {
+	var fe *Error
+	if !errors.As(err, &fe) {
+		return false
+	}
+	return fe.Kind == KindCrashRank || fe.Kind == KindCrashNode
+}
+
+// CrashError builds the typed error recorded for a crash event.
+func (c Crash) CrashError() *Error {
+	kind, label := KindCrashRank, "rank"
+	if c.Node {
+		kind, label = KindCrashNode, "node"
+	}
+	return &Error{Kind: kind, Target: fmt.Sprintf("%s%d", label, c.Index), At: c.At}
+}
 
 // draw returns a deterministic pseudo-uniform value in [0,1) for the
 // next op of (target, proc). FNV-1a over the spec seed, the target, the

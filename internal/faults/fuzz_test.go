@@ -25,6 +25,11 @@ func FuzzFaultSpec(f *testing.F) {
 		"bogus=1",      // unknown key
 		"seed",         // not key=value
 		"meta=gpfs:0s", // non-positive stall
+		"crashrank=3@25s",
+		"crashnode=0@1m",
+		"seed=11;crashrank=0@10s;crashnode=1@90s;err=gpfs:0.01",
+		"crashrank=3",     // missing @time
+		"crashrank=-1@5s", // negative rank
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -15,7 +15,10 @@
 // Entries are semicolon-separated key=value pairs; slow/err/meta/outage
 // may repeat for multiple targets or windows. Target "*" matches every
 // target. Windows are `@start-end` (half-open, end exclusive); outages
-// and bgstalls are `@start+duration` / `start+duration`.
+// and bgstalls are `@start+duration` / `start+duration`. Crash events
+// kill a rank (`crashrank=3@25s`) or every rank on a node
+// (`crashnode=0@40s`) at a virtual time; see internal/recovery for what
+// survives.
 package faults
 
 import (
@@ -74,6 +77,17 @@ type BGStall struct {
 	Start, Dur time.Duration
 }
 
+// Crash kills a rank (or a whole node's worth of ranks) at a virtual
+// time: `crashrank=<rank>@<time>` / `crashnode=<node>@<time>`. The
+// victim process dies mid-epoch; staged asynchronous data that has not
+// reached durable storage is lost or torn (see internal/pfs durability
+// and internal/recovery).
+type Crash struct {
+	Node  bool // false: Index is a rank; true: Index is a node (all its ranks die)
+	Index int
+	At    time.Duration
+}
+
 // RetrySpec configures the ioreq retry stage threaded through faulted
 // runs.
 type RetrySpec struct {
@@ -102,6 +116,7 @@ type Spec struct {
 	Outages    []Outage
 	MetaStalls []MetaStall
 	BGStalls   []BGStall
+	Crashes    []Crash
 	StageCap   int64 // staging-buffer byte budget per connector; 0 = unbounded
 	Retry      RetrySpec
 	Degrade    DegradeSpec
@@ -208,6 +223,20 @@ func (sp *Spec) parseEntry(key, val string) error {
 			return err
 		}
 		sp.BGStalls = append(sp.BGStalls, BGStall{Start: start, Dur: dur})
+	case "crashrank", "crashnode":
+		idxStr, atStr, ok := strings.Cut(val, "@")
+		if !ok {
+			return fmt.Errorf("faults: %s %q needs <index>@<time>", key, val)
+		}
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil || idx < 0 {
+			return fmt.Errorf("faults: %s index %q must be a non-negative integer", key, idxStr)
+		}
+		at, err := parseDur(key, atStr)
+		if err != nil {
+			return err
+		}
+		sp.Crashes = append(sp.Crashes, Crash{Node: key == "crashnode", Index: idx, At: at})
 	case "stagecap":
 		n, err := strconv.ParseInt(val, 10, 64)
 		if err != nil || n < 0 {
@@ -383,6 +412,13 @@ func (sp *Spec) String() string {
 	}
 	for _, b := range sp.BGStalls {
 		add("bgstall=%s+%s", b.Start, b.Dur)
+	}
+	for _, c := range sp.Crashes {
+		key := "crashrank"
+		if c.Node {
+			key = "crashnode"
+		}
+		add("%s=%d@%s", key, c.Index, c.At)
 	}
 	if sp.StageCap != 0 {
 		add("stagecap=%d", sp.StageCap)

@@ -21,6 +21,9 @@ func TestParseSpecCanonicalizes(t *testing.T) {
 		{"demote=4;spike=3;healthy=5", "demote=4;spike=3;healthy=5"},
 		{"deadline=1500ms", "deadline=1.5s"},
 		{"err=*:1;slow=a.b-c_d:1e-3", "slow=a.b-c_d:0.001;err=*:1"}, // canonical order: slows first
+		{"crashrank=3@25s", "crashrank=3@25s"},
+		{"crashnode=0@1m", "crashnode=0@1m0s"},
+		{"crashnode=1@90s;crashrank=0@10s;seed=9", "seed=9;crashnode=1@1m30s;crashrank=0@10s"},
 	}
 	for _, tc := range cases {
 		sp, err := ParseSpec(tc.in)
@@ -59,6 +62,11 @@ func TestParseSpecRejects(t *testing.T) {
 		"demote=+Inf",         // non-finite
 		"spike=1",             // must exceed 1
 		"healthy=0",           // epochs below 1
+		"crashrank=3",         // missing @time
+		"crashrank=-1@5s",     // negative rank
+		"crashrank=x@5s",      // non-integer rank
+		"crashnode=0@",        // empty time
+		"crashnode=0@-5s",     // negative time
 	}
 	for _, s := range bad {
 		if _, err := ParseSpec(s); err == nil {

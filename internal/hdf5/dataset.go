@@ -10,8 +10,14 @@ import (
 // buffer is packed in the selection's row-major traversal order
 // (equivalent to a contiguous memory dataspace in HDF5).
 type Dataset struct {
-	o *object
+	o    *object
+	path string
 }
+
+// Path returns the absolute path the dataset was created or opened
+// under (e.g. "/Step#0/x"); recovery journals record it so a post-crash
+// scan can re-open the dataset by name.
+func (d *Dataset) Path() string { return d.path }
 
 // Dtype returns the element type.
 func (d *Dataset) Dtype() Datatype { return d.o.dtype }

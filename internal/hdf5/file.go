@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"asyncio/internal/vclock"
 )
 
 const (
@@ -88,7 +90,7 @@ func Open(store Store, opts ...FileOption) (*File, error) {
 }
 
 // Root returns the root group ("/").
-func (f *File) Root() *Group { return &Group{o: f.root} }
+func (f *File) Root() *Group { return &Group{o: f.root, path: "/"} }
 
 // alloc reserves n bytes and returns their address. Space is never
 // reclaimed (like classic HDF5 without repacking); flushed metadata is
@@ -101,7 +103,9 @@ func (f *File) alloc(n int64) int64 {
 
 // Flush serializes all loaded metadata and the superblock to the store.
 // The time cost is charged as one metadata operation per flushed object,
-// after the lock is released (time charges never run under f.mu).
+// after the lock is released (time charges never run under f.mu); the
+// store sync — the fsync barrier — also runs after the lock drops, so a
+// ProcSyncer store may sleep the flushing process for its modeled cost.
 func (f *File) Flush(tp *TransferProps) error {
 	f.mu.Lock()
 	if err := f.checkOpen(); err != nil {
@@ -111,11 +115,32 @@ func (f *File) Flush(tp *TransferProps) error {
 	nops, err := f.flushLocked()
 	f.mu.Unlock()
 	f.chargeMeta(tp, nops)
-	return err
+	if err != nil {
+		return err
+	}
+	return f.syncStore(tp)
+}
+
+// ProcSyncer is a Store whose fsync carries a modeled time cost charged
+// to the flushing process (pfs.DurableStore). Plain stores fall back to
+// the uncharged Sync.
+type ProcSyncer interface {
+	SyncOn(p *vclock.Proc) error
+}
+
+// syncStore issues the store's durability barrier on behalf of tp. Must
+// be called without f.mu held: a charged sync sleeps the process, and
+// virtual time cannot advance while other ranks spin on the file lock.
+func (f *File) syncStore(tp *TransferProps) error {
+	if ps, ok := f.store.(ProcSyncer); ok {
+		return ps.SyncOn(tp.proc())
+	}
+	return f.store.Sync()
 }
 
 // flushLocked writes all metadata and returns how many metadata
-// operations to charge. Caller holds f.mu.
+// operations to charge. Caller holds f.mu; the store sync is the
+// caller's job (syncStore, outside the lock).
 func (f *File) flushLocked() (int, error) {
 	nops := 0
 	if err := f.writeObject(f.root, &nops); err != nil {
@@ -131,7 +156,7 @@ func (f *File) flushLocked() (int, error) {
 	if _, err := f.store.WriteAt(w.buf, 0); err != nil {
 		return nops, fmt.Errorf("hdf5: flush superblock: %w", err)
 	}
-	return nops, f.store.Sync()
+	return nops, nil
 }
 
 func (f *File) chargeMeta(tp *TransferProps, n int) {
@@ -215,7 +240,10 @@ func (f *File) Close(tp *TransferProps) error {
 	}
 	f.mu.Unlock()
 	f.chargeMeta(tp, nops)
-	return err
+	if err != nil {
+		return err
+	}
+	return f.syncStore(tp)
 }
 
 // Store returns the backing store, e.g. to re-open the container after

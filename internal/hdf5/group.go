@@ -7,7 +7,36 @@ import (
 
 // Group is a directory of named objects, like an HDF5 group.
 type Group struct {
-	o *object
+	o    *object
+	path string
+}
+
+// Path returns the absolute path the group was created or opened under
+// ("/" for the root).
+func (g *Group) Path() string { return g.path }
+
+// joinPath appends a (possibly multi-component) relative path to a base
+// group path, collapsing empty components.
+func joinPath(base, rel string) string {
+	var b strings.Builder
+	b.WriteString(strings.TrimSuffix(base, "/"))
+	for rest := rel; rest != ""; {
+		var part string
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			part, rest = rest[:i], rest[i+1:]
+		} else {
+			part, rest = rest, ""
+		}
+		if part == "" {
+			continue
+		}
+		b.WriteByte('/')
+		b.WriteString(part)
+	}
+	if b.Len() == 0 {
+		return "/"
+	}
+	return b.String()
 }
 
 // CreateProps configures dataset creation (the HDF5 DCPL analog).
@@ -63,7 +92,7 @@ func (g *Group) CreateGroup(tp *TransferProps, name string) (*Group, error) {
 	// Time charges never run under f.mu: a virtual-time sleep while
 	// holding a real mutex would wedge the whole simulation.
 	f.driver.MetaOp(tp.proc())
-	return &Group{o: child}, nil
+	return &Group{o: child, path: joinPath(g.path, name)}, nil
 }
 
 // resolveLocked walks one path component, loading it from disk if needed.
@@ -139,7 +168,7 @@ func (g *Group) OpenGroup(tp *TransferProps, path string) (*Group, error) {
 	if o.kind != kindGroup {
 		return nil, fmt.Errorf("hdf5: %q is not a group", path)
 	}
-	return &Group{o: o}, nil
+	return &Group{o: o, path: joinPath(g.path, path)}, nil
 }
 
 // OpenDataset opens a dataset by path relative to g.
@@ -151,7 +180,7 @@ func (g *Group) OpenDataset(tp *TransferProps, path string) (*Dataset, error) {
 	if o.kind != kindDataset {
 		return nil, fmt.Errorf("hdf5: %q is not a dataset", path)
 	}
-	return &Dataset{o: o}, nil
+	return &Dataset{o: o, path: joinPath(g.path, path)}, nil
 }
 
 // Exists reports whether a direct child with the given name exists.
@@ -238,5 +267,5 @@ func (g *Group) CreateDataset(tp *TransferProps, name string, dtype Datatype, sp
 	g.o.links.Put(name, &link{name: name, kind: kindDataset, obj: ds})
 	f.mu.Unlock()
 	f.driver.MetaOp(tp.proc())
-	return &Dataset{o: ds}, nil
+	return &Dataset{o: ds, path: joinPath(g.path, name)}, nil
 }

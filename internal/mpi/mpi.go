@@ -54,10 +54,21 @@ type World struct {
 	colls   map[int64]*collSlot
 	boxes   map[msgKey]*mailbox
 	subs    map[subKey]*World
+	procs   []*vclock.Proc // rank → process, for Kill; nil until the rank starts
+	done    int            // ranks whose goroutine has returned
 	abort   error
 	abortAt time.Duration
 	abortBy int
 	aborted bool
+}
+
+// Finished reports whether every rank goroutine has returned (normally,
+// by abort, or by kill). Crash schedulers use it to turn a crash firing
+// after the application completed into a no-op.
+func (w *World) Finished() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.done == w.size
 }
 
 // abortPanic unwinds a rank goroutine after the world aborts, mirroring
@@ -106,6 +117,7 @@ func Run(clk *vclock.Clock, size int, costs Costs, fn func(c *Comm)) *World {
 		costs: costs,
 		colls: make(map[int64]*collSlot),
 		boxes: make(map[msgKey]*mailbox),
+		procs: make([]*vclock.Proc, size),
 	}
 	release := clk.Hold()
 	defer release()
@@ -113,14 +125,23 @@ func Run(clk *vclock.Clock, size int, costs Costs, fn func(c *Comm)) *World {
 		c := &Comm{w: w, rank: r}
 		clk.Go(fmt.Sprintf("rank%d", r), func(p *vclock.Proc) {
 			defer func() {
+				w.mu.Lock()
+				w.done++
+				w.mu.Unlock()
+			}()
+			defer func() {
 				if r := recover(); r != nil {
-					if _, ok := r.(abortPanic); ok {
-						return // world aborted; unwind quietly
+					switch r.(type) {
+					case abortPanic, vclock.Killed:
+						return // world aborted or rank killed; unwind quietly
 					}
 					panic(r)
 				}
 			}()
 			c.p = p
+			w.mu.Lock()
+			w.procs[c.rank] = p
+			w.mu.Unlock()
 			fn(c)
 		})
 	}
@@ -147,15 +168,30 @@ func (c *Comm) Now() time.Duration { return c.p.Now() }
 // order must not pick the winner. Use World.Err after clk.Wait to check
 // the run.
 func (c *Comm) Abort(err error) {
-	now := c.p.Now()
-	w := c.w
+	c.w.abortAs(c.p.Now(), c.rank, err)
+}
+
+// abortAs records an abort attributed to rank at virtual time now and
+// releases every blocked rank (earliest time wins, lowest rank on ties).
+func (w *World) abortAs(now time.Duration, rank int, err error) {
 	w.mu.Lock()
-	if w.abort == nil || now < w.abortAt || (now == w.abortAt && c.rank < w.abortBy) {
-		w.abort = fmt.Errorf("rank %d: %w", c.rank, err)
+	if w.abort == nil || now < w.abortAt || (now == w.abortAt && rank < w.abortBy) {
+		w.abort = fmt.Errorf("rank %d: %w", rank, err)
 		w.abortAt = now
-		w.abortBy = c.rank
+		w.abortBy = rank
 	}
 	w.aborted = true
+	evs := w.abortEventsLocked()
+	w.mu.Unlock()
+	for _, ev := range evs {
+		ev.Fire()
+	}
+}
+
+// abortEventsLocked collects (and clears) every event a rank is blocked
+// on — collective rendezvous and receive waits. Caller holds w.mu and
+// fires the events after releasing it.
+func (w *World) abortEventsLocked() []*vclock.Event {
 	var evs []*vclock.Event
 	for _, slot := range w.colls {
 		evs = append(evs, slot.ev)
@@ -166,10 +202,29 @@ func (c *Comm) Abort(err error) {
 		}
 		mb.waiters = nil
 	}
-	w.mu.Unlock()
-	for _, ev := range evs {
-		ev.Fire()
+	return evs
+}
+
+// Kill terminates one rank at the current virtual instant: the victim's
+// process dies with a vclock.Killed panic (its pending sleep or event
+// wait is cancelled), and the death is observed by every surviving rank
+// as a revoked communicator — an abort recorded with Abort's
+// earliest-virtual-time ordering that unwinds ranks blocked in
+// collectives or receives, and fails the next MPI call of the rest.
+// Callable from a timer callback, another process, or the host.
+func (w *World) Kill(rank int, err error) {
+	if rank < 0 || rank >= w.size {
+		return
 	}
+	w.mu.Lock()
+	victim := w.procs[rank]
+	w.mu.Unlock()
+	if victim != nil {
+		// Kill before firing abort events so the victim dies as a crash
+		// (Killed) rather than unwinding like a surviving rank.
+		victim.Kill(err)
+	}
+	w.abortAs(w.clk.Now(), rank, err)
 }
 
 func (w *World) checkAborted() {

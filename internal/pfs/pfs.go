@@ -243,8 +243,10 @@ func (t *Target) transfer(p *vclock.Proc, b int64) bool {
 		t.mPenaltyBytes.Add(served - b)
 	}
 	t.mInflight.Add(1)
+	// Deferred so a crash (vclock.Killed unwinding the proc mid-transfer)
+	// cannot leak the in-flight count into the exported series.
+	defer t.mInflight.Add(-1)
 	t.srv.TransferLimited(p, served, t.cfg.PerFlowBW*t.ContentionFactor()*t.FaultFactor())
-	t.mInflight.Add(-1)
 	return true
 }
 

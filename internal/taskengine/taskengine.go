@@ -100,6 +100,9 @@ type Stream struct {
 	queue   []*Task
 	wake    *vclock.Event
 	stopped bool
+	killErr error        // non-nil once killed; Push then fails tasks instead of panicking
+	current *Task        // task being executed, failed on Kill so waiters unwind
+	proc    *vclock.Proc // the stream's process, for Kill
 
 	exited *vclock.Event
 }
@@ -130,7 +133,15 @@ func (s *Stream) Push(name string, deps []*Task, fn func(p *vclock.Proc) error) 
 	}
 	s.mu.Lock()
 	if s.stopped {
+		killed := s.killErr
 		s.mu.Unlock()
+		if killed != nil {
+			// A crashed process may still issue a few pushes before it
+			// reaches its next blocking point and dies; its work simply
+			// fails instead of tripping the lifecycle panic.
+			t.complete(killed)
+			return t
+		}
 		panic(fmt.Sprintf("taskengine: Push(%q) on stopped stream %q", name, s.name))
 	}
 	s.queue = append(s.queue, t)
@@ -155,6 +166,43 @@ func (s *Stream) Shutdown() {
 	wake.Fire()
 }
 
+// Kill terminates the stream as by a crash: the background process dies
+// with a vclock.Killed panic at its next blocking point, and every
+// queued task — plus the one in flight, if any — completes with reason
+// as its error, so drain barriers and event-set waiters unwind instead
+// of hanging on tasks that will never run. Idempotent; a subsequent
+// Push fails its task with reason instead of panicking.
+func (s *Stream) Kill(reason error) {
+	s.mu.Lock()
+	if s.killErr != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.killErr = reason
+	s.stopped = true
+	queue := s.queue
+	s.queue = nil
+	cur := s.current
+	s.current = nil
+	proc := s.proc
+	wake := s.wake
+	s.mu.Unlock()
+	if proc != nil {
+		proc.Kill(reason)
+	}
+	if cur != nil {
+		cur.complete(reason)
+	}
+	for _, t := range queue {
+		t.complete(reason)
+	}
+	if n := len(queue); n > 0 {
+		_, _, queued := s.e.instruments()
+		queued.Add(-float64(n))
+	}
+	wake.Fire() // in case the proc had not started yet
+}
+
 // Join blocks p until the stream process has exited.
 func (s *Stream) Join(p *vclock.Proc) { s.exited.Wait(p) }
 
@@ -167,6 +215,9 @@ func (s *Stream) Pending() int {
 
 func (s *Stream) run(p *vclock.Proc) {
 	defer s.exited.Fire()
+	s.mu.Lock()
+	s.proc = p
+	s.mu.Unlock()
 	for {
 		s.mu.Lock()
 		if len(s.queue) == 0 {
@@ -184,6 +235,7 @@ func (s *Stream) run(p *vclock.Proc) {
 		}
 		t := s.queue[0]
 		s.queue = s.queue[1:]
+		s.current = t
 		s.mu.Unlock()
 		tasks, seconds, queued := s.e.instruments()
 		queued.Add(-1)
@@ -194,11 +246,22 @@ func (s *Stream) run(p *vclock.Proc) {
 		err := t.fn(p)
 		tasks.Add(1)
 		seconds.Observe((p.Now() - start).Seconds())
-		t.mu.Lock()
-		t.err = err
-		t.mu.Unlock()
-		t.done.Fire()
+		t.complete(err)
+		s.mu.Lock()
+		s.current = nil
+		s.mu.Unlock()
 	}
+}
+
+// complete records the task's outcome (first writer wins — a kill that
+// already failed the task keeps its reason) and wakes waiters.
+func (t *Task) complete(err error) {
+	t.mu.Lock()
+	if t.err == nil {
+		t.err = err
+	}
+	t.mu.Unlock()
+	t.done.Fire()
 }
 
 // Wait blocks p until the task completes, returning the task's error.

@@ -80,6 +80,79 @@ type Proc struct {
 	wake    chan struct{} // reusable cap-1 wake signal; a proc blocks on one thing at a time
 	state   procState
 	stateAt time.Duration // wake deadline when sleeping, for deadlock reports
+
+	// Kill support. pending is the sleep timer entry while blocked in
+	// Sleep, waitingOn the event while blocked in Wait (both guarded by
+	// c.mu) so Kill can dequeue a blocked victim; killed is checked
+	// lock-free after every wake, and killErr is safely visible to any
+	// reader that observed killed == true.
+	pending   *timerEntry
+	waitingOn *Event
+	killed    atomic.Bool
+	killErr   error
+}
+
+// Killed is the panic value a killed process unwinds with. Spawners that
+// need to observe the death (an MPI rank wrapper recording a crash, a
+// background stream failing its queue) recover it; a Killed panic that
+// reaches the top of a process goroutine is absorbed by the clock, so an
+// unobserved kill simply ends the process.
+type Killed struct{ Reason error }
+
+// Error makes the panic value usable as an error after recovery.
+func (k Killed) Error() string {
+	if k.Reason != nil {
+		return "vclock: process killed: " + k.Reason.Error()
+	}
+	return "vclock: process killed"
+}
+
+// Kill marks p as killed. The victim unwinds with a Killed panic at its
+// next blocking operation — immediately, at the current virtual instant,
+// if it is already blocked in Sleep or Event.Wait (its pending wakeup is
+// cancelled). Idempotent: only the first reason sticks. Kill may be
+// called from another process, a timer callback, or the host goroutine;
+// a process must not kill itself (panic with Killed directly instead).
+func (p *Proc) Kill(reason error) {
+	c := p.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p.killed.Load() {
+		return
+	}
+	p.killErr = reason
+	p.killed.Store(true)
+	if e := p.pending; e != nil {
+		// Asleep: cancel the scheduled wakeup and wake it now to die.
+		heap.Remove(&c.queue, e.index)
+		c.recycle(e)
+		p.pending = nil
+		c.running++
+		p.wake <- struct{}{}
+		return
+	}
+	if ev := p.waitingOn; ev != nil {
+		// Blocked on an event: withdraw from the waiter list (a later
+		// Fire must not signal a dead proc) and wake it now to die.
+		for i, w := range ev.waiters {
+			if w == p {
+				ev.waiters = append(ev.waiters[:i], ev.waiters[i+1:]...)
+				break
+			}
+		}
+		p.waitingOn = nil
+		c.running++
+		p.wake <- struct{}{}
+	}
+	// Otherwise the proc is runnable; it dies at its next Sleep/Wait.
+}
+
+// checkKilled panics with Killed if the proc has been killed. Safe to
+// call lock-free: killErr is published before the killed flag.
+func (p *Proc) checkKilled() {
+	if p.killed.Load() {
+		panic(Killed{p.killErr})
+	}
 }
 
 // Name returns the name the process was spawned with.
@@ -134,6 +207,16 @@ func (c *Clock) Go(name string, fn func(p *Proc)) {
 			c.unblockLocked() // running--; may advance time or end the run
 			c.mu.Unlock()
 		}()
+		defer func() {
+			// A Killed panic that nobody recovered means the spawner does
+			// not care how the process ends; absorb it so the kill just
+			// terminates the process instead of crashing the host.
+			if r := recover(); r != nil {
+				if _, ok := r.(Killed); !ok {
+					panic(r)
+				}
+			}
+		}()
 		fn(p)
 	}()
 }
@@ -183,9 +266,15 @@ func (p *Proc) Sleep(d time.Duration) {
 		d = 0
 	}
 	c.mu.Lock()
+	if p.killed.Load() {
+		c.mu.Unlock()
+		panic(Killed{p.killErr})
+	}
 	e := c.alloc()
 	e.at = c.now + d
 	e.wake = p.wake
+	e.proc = p
+	p.pending = e
 	c.push(e)
 	p.state = stateSleeping
 	p.stateAt = e.at
@@ -193,6 +282,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	c.mu.Unlock()
 	<-p.wake
 	p.state = stateRunning
+	p.checkKilled()
 }
 
 // Yield lets other runnable work at the current instant proceed.
@@ -204,7 +294,7 @@ func (p *Proc) Yield() { p.Sleep(0) }
 type Event struct {
 	c       *Clock
 	fired   bool
-	waiters []chan struct{}
+	waiters []*Proc
 }
 
 // NewEvent returns an unfired Event on c.
@@ -228,9 +318,10 @@ func (e *Event) Fire() {
 		return
 	}
 	e.fired = true
-	for _, ch := range e.waiters {
+	for _, p := range e.waiters {
 		c.running++
-		ch <- struct{}{} // cap-1 per-proc channel; a waiter has no other pending wake
+		p.waitingOn = nil
+		p.wake <- struct{}{} // cap-1 per-proc channel; a waiter has no other pending wake
 	}
 	e.waiters = nil
 }
@@ -240,16 +331,22 @@ func (e *Event) Fire() {
 func (e *Event) Wait(p *Proc) {
 	c := e.c
 	c.mu.Lock()
+	if p.killed.Load() {
+		c.mu.Unlock()
+		panic(Killed{p.killErr})
+	}
 	if e.fired {
 		c.mu.Unlock()
 		return
 	}
-	e.waiters = append(e.waiters, p.wake)
+	e.waiters = append(e.waiters, p)
+	p.waitingOn = e
 	p.state = stateEventWait
 	c.blockLocked()
 	c.mu.Unlock()
 	<-p.wake
 	p.state = stateRunning
+	p.checkKilled()
 }
 
 // Timer is a cancellable scheduled callback created by AfterFunc. The
@@ -305,6 +402,7 @@ type timerEntry struct {
 	index int
 	gen   uint64
 	wake  chan struct{}
+	proc  *Proc // owner of a sleep wakeup, so Kill can cancel it; nil for callbacks
 	fn    func(now time.Duration)
 }
 
@@ -324,6 +422,7 @@ func (c *Clock) alloc() *timerEntry {
 func (c *Clock) recycle(e *timerEntry) {
 	e.gen++
 	e.wake = nil
+	e.proc = nil
 	e.fn = nil
 	e.index = -1
 	c.free = append(c.free, e)
@@ -392,6 +491,9 @@ func (c *Clock) maybeAdvanceLocked() {
 			e := heap.Pop(&c.queue).(*timerEntry)
 			fired++
 			if e.wake != nil {
+				if e.proc != nil {
+					e.proc.pending = nil
+				}
 				c.running++
 				e.wake <- struct{}{}
 			} else {

@@ -53,6 +53,11 @@ type Options struct {
 	// AsyncAggregate enables the aggregation stage inside each rank's
 	// asynchronous connector. The zero value leaves it off.
 	AsyncAggregate ioreq.AggConfig
+	// AsyncInlineStages are extra caller-side stages for each rank's
+	// asynchronous connector, run before the staging copy (e.g. the
+	// write-ahead journal stage). Shared across ranks; must be
+	// concurrency-safe.
+	AsyncInlineStages []ioreq.Stage
 }
 
 // NewEnv builds the per-rank environment around a shared raw file. The
@@ -72,10 +77,11 @@ func NewEnv(ctx *core.RankCtx, eng *taskengine.Engine, raw *hdf5.File, opts Opti
 	}
 	eng.SetMetrics(ctx.Sys.Metrics)
 	avOpts := asyncvol.Options{
-		Copy:        copyModel,
-		Materialize: opts.Materialize,
-		Aggregate:   opts.AsyncAggregate,
-		Metrics:     ctx.Sys.Metrics,
+		Copy:         copyModel,
+		Materialize:  opts.Materialize,
+		Aggregate:    opts.AsyncAggregate,
+		Metrics:      ctx.Sys.Metrics,
+		InlineStages: opts.AsyncInlineStages,
 	}
 	syncPL := opts.SyncPipeline
 	if in := ctx.Sys.Faults; in != nil {
@@ -90,6 +96,10 @@ func NewEnv(ctx *core.RankCtx, eng *taskengine.Engine, raw *hdf5.File, opts Opti
 		}
 	}
 	conn := asyncvol.New(eng, fmt.Sprintf("rank%d", ctx.Rank), avOpts)
+	// If the run has a crash schedule, the rank's background stream dies
+	// with the rank: queued asynchronous writes are abandoned un-issued,
+	// which is exactly the data-loss window crash experiments measure.
+	ctx.OnCrash(func(reason error) { conn.Kill(reason) })
 	return &Env{
 		Rank:      ctx.Rank,
 		Conn:      conn,

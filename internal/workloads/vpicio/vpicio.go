@@ -7,6 +7,7 @@
 package vpicio
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -52,6 +53,21 @@ type Config struct {
 	// one storage dispatch (two-phase collective buffering). Set it to
 	// the rank count to merge each property's per-step writes.
 	AggWindow int
+	// Store overrides the backing store — e.g. a pfs.DurableStore for
+	// crash-consistency runs. Default: harness.NewStore(Materialize).
+	Store hdf5.Store
+	// OpenExisting opens the container already on Store instead of
+	// creating a fresh one: restart runs resume into a recovered image.
+	OpenExisting bool
+	// StartStep numbers the first epoch this run executes. Steps remains
+	// the total step count, so a restart run with StartStep=k performs
+	// epochs k..Steps-1 against the surviving container. Step groups
+	// that already exist (partially written before a crash, or restored
+	// by journal replay) are reused.
+	StartStep int
+	// Checkpoint, when non-nil, runs the durable-commit protocol after
+	// each eligible epoch (see harness.Checkpointer).
+	Checkpoint *harness.Checkpointer
 	// Observe, when non-nil, runs on rank 0 after each epoch's record
 	// commits (see core.Hooks.Observe) — the hook experiments use to
 	// assert on mid-run metrics.
@@ -76,11 +92,25 @@ func Run(sys *systems.System, cfg Config) (*core.Report, *hdf5.File, error) {
 			WithMetrics(sys.Metrics)
 	}
 
+	if cfg.StartStep < 0 || cfg.StartStep >= cfg.Steps {
+		return nil, nil, fmt.Errorf("vpicio: StartStep %d outside 0..%d", cfg.StartStep, cfg.Steps-1)
+	}
+
 	target := hdf5.Driver(sys.PFS)
 	if cfg.Target != nil {
 		target = cfg.Target
 	}
-	raw, err := harness.CreateSharedFileOn(target, cfg.Materialize)
+	store := cfg.Store
+	if store == nil {
+		store = harness.NewStore(cfg.Materialize)
+	}
+	var raw *hdf5.File
+	var err error
+	if cfg.OpenExisting {
+		raw, err = hdf5.Open(store, hdf5.WithDriver(target))
+	} else {
+		raw, err = hdf5.Create(store, hdf5.WithDriver(target))
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -109,7 +139,17 @@ func Run(sys *systems.System, cfg Config) (*core.Report, *hdf5.File, error) {
 		},
 		IO: func(ctx *core.RankCtx, iter int, mode trace.Mode) (int64, error) {
 			env := envs[ctx.Rank]
-			return writeStep(ctx, env, pool, cfg, iter, mode)
+			step := cfg.StartStep + iter
+			n, err := writeStep(ctx, env, pool, cfg, step, mode)
+			if err != nil {
+				return n, err
+			}
+			// The checkpoint's drain+flush time lands in the epoch's I/O
+			// time: the cost side of the interval tradeoff.
+			if err := cfg.Checkpoint.Checkpoint(ctx, env, step); err != nil {
+				return n, err
+			}
+			return n, nil
 		},
 		Drain:   func(ctx *core.RankCtx) error { return envs[ctx.Rank].Drain(ctx.P) },
 		Term:    func(ctx *core.RankCtx) error { return envs[ctx.Rank].Term(ctx.P) },
@@ -117,15 +157,15 @@ func Run(sys *systems.System, cfg Config) (*core.Report, *hdf5.File, error) {
 	}
 	rep, err := core.Run(sys, core.Config{
 		Workload:   "vpic-io",
-		Iterations: cfg.Steps,
+		Iterations: cfg.Steps - cfg.StartStep,
 		Mode:       cfg.Mode,
 		Ranks:      ranks,
 		Estimator:  cfg.Estimator,
 	}, hooks)
-	if err != nil {
-		return nil, nil, err
-	}
-	return rep, raw, nil
+	// On an aborted run rep is the partial report (epochs committed
+	// before the crash plus the crash records); pass it through with the
+	// file so chaos harnesses can still export and recover.
+	return rep, raw, err
 }
 
 // StepGroup names the checkpoint group for a time step, matching the
@@ -144,8 +184,13 @@ func writeStep(ctx *core.RankCtx, env *harness.Env, pool *harness.BufferPool, cf
 
 	if c.Rank() == 0 {
 		// Metadata is collective in spirit: rank 0 creates, everyone
-		// else opens after the barrier.
+		// else opens after the barrier. A restart run may find the step
+		// group already on disk — created before the crash or restored
+		// by journal replay — in which case it is reused, not an error.
 		g, err := file.Root().CreateGroup(pr, StepGroup(step))
+		if errors.Is(err, hdf5.ErrExists) {
+			g, err = file.Root().OpenGroup(pr, StepGroup(step))
+		}
 		if err != nil {
 			return 0, err
 		}
@@ -154,7 +199,7 @@ func writeStep(ctx *core.RankCtx, env *harness.Env, pool *harness.BufferPool, cf
 		}
 		space := hdf5.MustSimple(total)
 		for _, prop := range Properties {
-			if _, err := g.CreateDataset(pr, prop, hdf5.F32, space, nil); err != nil {
+			if _, err := g.CreateDataset(pr, prop, hdf5.F32, space, nil); err != nil && !errors.Is(err, hdf5.ErrExists) {
 				return 0, err
 			}
 		}
