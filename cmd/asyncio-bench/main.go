@@ -39,8 +39,10 @@ func main() {
 		metricsCSV   = flag.String("metrics", "", "write every run's metrics registry (labeled, concatenated CSV) to this path")
 		faultSpec    = flag.String("faults", "", "fault-injection spec applied to every run (see internal/faults)")
 		parallel     = flag.Int("parallel", 0, "workers for independent experiment points (0 = GOMAXPROCS, 1 = serial)")
+		shards       = flag.String("shards", "auto", "intra-run event-engine shards: auto, N, N:block, or N:stripe")
 		selfbench    = flag.Bool("selfbench", false, "benchmark the simulator itself and exit")
 		selfbenchOut = flag.String("selfbench-out", "BENCH_simulator.json", "where -selfbench writes its JSON report")
+		shardscale   = flag.Bool("shardscale", false, "run the abl-shard ablation (events/s vs shard count; wall-clock, so not in -list) and exit")
 	)
 	flag.Parse()
 
@@ -56,8 +58,14 @@ func main() {
 	}
 	experiments.SetParallelism(*parallel)
 
+	// Selfbench pins shard counts per case (serial baselines vs explicit
+	// sharded entries), so the global -shards override does not apply.
 	if *selfbench {
 		runSelfbench(*scale, *selfbenchOut)
+		return
+	}
+	if *shardscale {
+		runShardScale(*scale)
 		return
 	}
 
@@ -105,7 +113,10 @@ func main() {
 	// so observability data can be exported without touching every
 	// experiment. The observer's report order is part of the output
 	// (metrics CSV labels, "last run" trace selection), so observed
-	// generation forces the serial path regardless of -parallel.
+	// generation forces serial sweeps regardless of -parallel. Intra-run
+	// sharding is unaffected: runs execute one at a time, but each run
+	// still spreads its ranks across shards, and the exports are
+	// byte-identical at any shard count.
 	var reports []*core.Report
 	if *traceJSON != "" || *metricsCSV != "" {
 		metrics.SetSeriesDefault(true)
@@ -113,6 +124,15 @@ func main() {
 		defer core.SetRunObserver(nil)
 		experiments.SetParallelism(1)
 	}
+
+	// Resolve -shards after the worker count settles: auto divides the
+	// machine between sweep workers and intra-run shards, so forcing
+	// serial sweeps (above) hands the whole core budget to each run.
+	nShards, err := experiments.ResolveShardSpec(*shards)
+	if err != nil {
+		fatalf("-shards: %v", err)
+	}
+	experiments.SetShards(nShards)
 
 	for _, id := range run {
 		start := time.Now()
@@ -192,6 +212,29 @@ func runSelfbench(scale, out string) {
 	}
 	if err := f.Close(); err != nil {
 		fatalf("selfbench: closing %s: %v", out, err)
+	}
+}
+
+// runShardScale runs the abl-shard ablation: the same VPIC-IO runs at
+// 1/2/4/8 intra-run shards, reporting simulator events/s and wall time.
+// Wall-clock is machine-dependent, so this lives outside the registry
+// (and the determinism suites) on purpose.
+func runShardScale(scale string) {
+	var sc experiments.Scale
+	switch scale {
+	case "reduced":
+		sc = experiments.ReducedScale()
+	case "full":
+		sc = experiments.FullScale()
+	default:
+		fatalf("unknown scale %q (want reduced or full)", scale)
+	}
+	tab, err := experiments.ShardScale(sc, nil, nil)
+	if err != nil {
+		fatalf("shardscale: %v", err)
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		fatalf("shardscale: rendering: %v", err)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"asyncio/internal/core"
@@ -36,6 +37,7 @@ import (
 	"asyncio/internal/perfetto"
 	"asyncio/internal/pfs"
 	"asyncio/internal/recovery"
+	"asyncio/internal/shard"
 	"asyncio/internal/systems"
 	"asyncio/internal/trace"
 	"asyncio/internal/vclock"
@@ -63,6 +65,7 @@ func main() {
 		journal    = flag.Bool("journal", false, "journal asynchronous writes ahead of dispatch (vpic only)")
 		durability = flag.String("durability", "gpfs", "write-back durability semantics on crash: gpfs | lustre")
 		durSeed    = flag.Int64("durability-seed", 1, "seed for the crash tearing draws")
+		shards     = flag.String("shards", "auto", "intra-run event-engine shards: auto, N, N:block, or N:stripe")
 	)
 	flag.Parse()
 
@@ -85,7 +88,21 @@ func main() {
 		}
 		sysOpts = append(sysOpts, systems.WithFaults(in))
 	}
-	clk := vclock.New()
+	// The run is this process's only work, so -shards auto takes the
+	// whole machine. Every output below is byte-identical at any shard
+	// count; sharding only changes how fast the simulation executes.
+	sp, sperr := shard.ParseSpec(*shards)
+	if sperr != nil {
+		fatalf("-shards: %v", sperr)
+	}
+	var clk *vclock.Clock
+	if n := sp.Resolve(shard.MaxShards, runtime.GOMAXPROCS(0)); n > 1 {
+		co := vclock.NewSharded(n)
+		clk = co.Clock(0)
+		sysOpts = append(sysOpts, systems.WithSharding(co, sp.Policy))
+	} else {
+		clk = vclock.New()
+	}
 	var sys *systems.System
 	switch *system {
 	case "summit":

@@ -303,7 +303,9 @@ func Run(sys *systems.System, cfg Config, hooks Hooks) (*Report, error) {
 	}
 	costs := mpi.DefaultCosts()
 	costs.Metrics = sys.Metrics
-	world := mpi.Run(sys.Clk, ranks, costs, func(c *mpi.Comm) {
+	// Sharded systems spawn each rank on its home shard's clock; the
+	// world's rendezvous events live on shard 0 and wake cross-shard.
+	world := mpi.RunOn(sys.RankClocks(ranks), ranks, costs, func(c *mpi.Comm) {
 		runRank(c, sys, cfg, hooks, ctl, rep, ct)
 	})
 	timers := scheduleCrashes(sys, crashes, ranks, world, ct, rep)

@@ -11,7 +11,6 @@ import (
 	"asyncio/internal/pfs"
 	"asyncio/internal/recovery"
 	"asyncio/internal/systems"
-	"asyncio/internal/vclock"
 	"asyncio/internal/workloads/harness"
 	"asyncio/internal/workloads/vpicio"
 )
@@ -38,6 +37,10 @@ type CrashTrialConfig struct {
 	// JournalPayload captures element bytes in the journal (verification
 	// and replay) rather than extent maps alone.
 	JournalPayload bool
+	// Shards runs both the crash run and the restart on a sharded event
+	// engine (<= 1: serial). Trials are byte-identical across shard
+	// counts — the chaos harness asserts it.
+	Shards int
 }
 
 // CrashTrialResult carries everything a trial produced, for both the
@@ -98,7 +101,8 @@ func CrashTrial(cfg CrashTrialConfig) (*CrashTrialResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys := systems.Summit(vclock.New(), cfg.Nodes, systems.WithFaults(in))
+	clk, shardOpts := newClock(cfg.Shards)
+	sys := systems.Summit(clk, cfg.Nodes, append(shardOpts, systems.WithFaults(in))...)
 	ck.Instrument(sys.Metrics)
 	kit.Journal.Instrument(sys.Metrics, "vpic")
 
@@ -143,7 +147,14 @@ func CrashTrial(cfg CrashTrialConfig) (*CrashTrialResult, error) {
 		start = 0
 		res.RestartFresh = true
 	}
-	sys2 := systems.Summit(vclock.New(), cfg.Nodes)
+	if start >= cfg.Steps {
+		// The crash landed after the final epoch's durable commit: every
+		// step is already checkpointed, so the recovered image plus journal
+		// replay is the final state and there is nothing to re-execute.
+		return res, nil
+	}
+	clk2, shardOpts2 := newClock(cfg.Shards)
+	sys2 := systems.Summit(clk2, cfg.Nodes, shardOpts2...)
 	rep2, _, err := vpicio.Run(sys2, vpicio.Config{
 		Steps:            cfg.Steps,
 		ParticlesPerRank: cfg.ParticlesPerRank,

@@ -9,7 +9,6 @@ import (
 	"asyncio/internal/model"
 	"asyncio/internal/stats"
 	"asyncio/internal/systems"
-	"asyncio/internal/vclock"
 	"asyncio/internal/workloads/bdcats"
 	"asyncio/internal/workloads/castro"
 	"asyncio/internal/workloads/cosmoflow"
@@ -48,8 +47,8 @@ func Registry() map[string]Generator {
 // newSystem builds a fresh clock+system for one run, attaching the
 // process-wide default fault schedule when one is installed.
 func newSystem(name string, nodes int, opts ...systems.Option) *systems.System {
-	clk := vclock.New()
-	opts = append(faultOpts(), opts...)
+	clk, shardOpts := newClock(Shards())
+	opts = append(append(faultOpts(), shardOpts...), opts...)
 	if name == "summit" {
 		return systems.Summit(clk, nodes, opts...)
 	}

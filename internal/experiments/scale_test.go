@@ -12,7 +12,19 @@ import (
 // batched-wakeup or pooled-timer paths would surface; CI runs it under
 // -race. Gated behind ASYNCIO_SCALE_TEST because it simulates ~40× more
 // ranks than the ordinary test matrix.
-func TestRaceAtScale(t *testing.T) {
+func TestRaceAtScale(t *testing.T) { raceAtScale(t) }
+
+// TestRaceAtScaleSharded reruns the 4096-rank point on the 4-shard
+// coordinator: the same locking surfaces plus the cross-shard window
+// protocol, under -race in CI.
+func TestRaceAtScaleSharded(t *testing.T) {
+	prev := SetShards(4)
+	defer SetShards(prev)
+	raceAtScale(t)
+}
+
+func raceAtScale(t *testing.T) {
+	t.Helper()
 	if os.Getenv("ASYNCIO_SCALE_TEST") == "" {
 		t.Skip("set ASYNCIO_SCALE_TEST=1 to run the 4096-rank point")
 	}

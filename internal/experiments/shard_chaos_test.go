@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+// chaosFingerprint reduces a crash-trial result to a comparable string:
+// every externally observable outcome — crash records, scan
+// classification, checkpoint coverage, restart cost, and a hash of the
+// final image bytes. Two engines that agree on this string produced the
+// same report byte for byte.
+func chaosFingerprint(t *testing.T, res *CrashTrialResult) string {
+	t.Helper()
+	s := fmt.Sprintf("crashed=%v lastDurable=%d fresh=%v", res.Crashed, res.LastDurable, res.RestartFresh)
+	if res.CrashRun != nil {
+		s += fmt.Sprintf(" epochs=%d crashes=%+v aborted=%v",
+			len(res.CrashRun.Run.Records), res.CrashRun.Crashes, res.CrashRun.Aborted)
+	}
+	if res.Scan != nil {
+		s += " scan=" + res.Scan.Summary()
+	}
+	if res.RestartRun != nil {
+		s += fmt.Sprintf(" restartEpochs=%d restartTime=%s", len(res.RestartRun.Run.Records), res.RestartTime)
+	}
+	buf := make([]byte, res.Store.Size())
+	if len(buf) > 0 {
+		if _, err := res.Store.ReadAt(buf, 0); err != nil {
+			t.Fatalf("reading final image: %v", err)
+		}
+	}
+	return fmt.Sprintf("%s image=%x", s, sha256.Sum256(buf))
+}
+
+// TestShardedCrashProperty is the property-based half of the sharded
+// engine's contract: across 1000 random seeds, crash targets, crash
+// instants, durability models, and checkpoint intervals, the serial
+// engine and the 4-shard engine must produce byte-identical trial
+// reports — same crash records, same journal classification, same
+// recovered image.
+func TestShardedCrashProperty(t *testing.T) {
+	trials := 1000
+	if testing.Short() {
+		trials = 40
+	}
+	diffs := make([]string, trials)
+	if err := RunParallel(trials, func(i int) error {
+		// Offset past the chaos fleet's indices so the two suites draw
+		// different (seed, fault-spec) tuples.
+		cfg := chaosTrialConfig(i + 10_000)
+		cfg.Shards = 1
+		serial, err := CrashTrial(cfg)
+		if err != nil {
+			return fmt.Errorf("trial %d serial (%s): %w", i, cfg.FaultSpec, err)
+		}
+		cfg.Shards = 4
+		sharded, err := CrashTrial(cfg)
+		if err != nil {
+			return fmt.Errorf("trial %d sharded (%s): %w", i, cfg.FaultSpec, err)
+		}
+		a, b := chaosFingerprint(t, serial), chaosFingerprint(t, sharded)
+		if a != b {
+			diffs[i] = fmt.Sprintf("trial %d (%s):\n  serial:  %s\n  sharded: %s", i, cfg.FaultSpec, a, b)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	for _, d := range diffs {
+		if d != "" {
+			bad++
+			if bad <= 3 {
+				t.Error(d)
+			}
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%d of %d trials diverged between 1 and 4 shards", bad, trials)
+	}
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// renderAllSharded is renderAll with every run's event engine split
+// into n shards.
+func renderAllSharded(t *testing.T, workers, shards int) string {
+	t.Helper()
+	prev := SetShards(shards)
+	defer SetShards(prev)
+	return renderAll(t, workers)
+}
+
+// TestShardedDeterminism is the sharded engine's contract: every figure
+// renders byte-identical whether a run executes on the serial engine or
+// across any number of shards. The coordinator's lockstep windows fire
+// exactly the serial engine's batches, so shard count — like worker
+// count — must be unobservable in every export.
+func TestShardedDeterminism(t *testing.T) {
+	serial := renderAll(t, 1)
+	for _, shards := range []int{2, 4} {
+		sharded := renderAllSharded(t, 1, shards)
+		if sharded != serial {
+			t.Errorf("output differs between serial and %d shards:\n%s",
+				shards, firstDiff(serial, sharded))
+		}
+	}
+	// Shards compose with sweep workers: both dimensions at once.
+	both := renderAllSharded(t, 4, 2)
+	if both != serial {
+		t.Errorf("output differs with 4 workers x 2 shards:\n%s", firstDiff(serial, both))
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"asyncio/internal/shard"
+	"asyncio/internal/systems"
+	"asyncio/internal/vclock"
+)
+
+// shardsOverride is the intra-run shard count every system built by
+// newSystem uses; <= 1 means the serial engine. Set via SetShards (the
+// CLIs' -shards flag, resolved against the core budget).
+var shardsOverride atomic.Int64
+
+// SetShards fixes the intra-run shard count for subsequently built
+// systems. n <= 1 restores the serial engine. It returns the previous
+// value so callers can restore it. Shards compose with SetParallelism:
+// shards multiply within a run, sweep workers across runs, and the two
+// share the machine's core budget — the CLIs resolve `-shards auto` as
+// GOMAXPROCS / Parallelism().
+func SetShards(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(shardsOverride.Swap(int64(n)))
+}
+
+// Shards returns the intra-run shard count newSystem will use.
+func Shards() int {
+	if n := int(shardsOverride.Load()); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// shardPolicyOverride is the rank-assignment policy for sharded runs;
+// empty means shard.PolicyBlock.
+var shardPolicyOverride atomic.Value // string
+
+// SetShardPolicy fixes the rank-assignment policy (shard.PolicyBlock or
+// shard.PolicyStripe) for subsequently built sharded systems and
+// returns the previous value. The policy changes which shard owns which
+// rank, never the simulated outcome: lockstep windows make every
+// partition byte-identical.
+func SetShardPolicy(p string) string {
+	prev, _ := shardPolicyOverride.Swap(p).(string)
+	return prev
+}
+
+// ShardPolicy returns the current rank-assignment policy.
+func ShardPolicy() string {
+	if p, _ := shardPolicyOverride.Load().(string); p != "" {
+		return p
+	}
+	return shard.PolicyBlock
+}
+
+// ResolveShardSpec parses a -shards flag value and resolves it against
+// the process's core budget: "auto" becomes GOMAXPROCS divided by the
+// sweep worker count (Parallelism), so intra-run shards and cross-run
+// workers share the machine instead of multiplying against it. Call it
+// after SetParallelism. The returned count is what SetShards should be
+// given; the spec's policy is applied as a side effect.
+func ResolveShardSpec(raw string) (int, error) {
+	sp, err := shard.ParseSpec(raw)
+	if err != nil {
+		return 0, err
+	}
+	budget := runtime.GOMAXPROCS(0) / Parallelism()
+	if budget < 1 {
+		budget = 1
+	}
+	// Rank counts vary per run; clamping a too-large request down to the
+	// run's size is NewPlan's job, so resolve against the spec ceiling.
+	n := sp.Resolve(shard.MaxShards, budget)
+	SetShardPolicy(sp.Policy)
+	return n, nil
+}
+
+// newClock builds the engine for one run at the current shard setting:
+// a serial clock, or shard 0 of a fresh coordinator plus the sharding
+// option for the system constructor. Every run owns its engine, so
+// sweep-level parallelism and intra-run sharding nest freely.
+func newClock(n int) (*vclock.Clock, []systems.Option) {
+	if n <= 1 {
+		return vclock.New(), nil
+	}
+	co := vclock.NewSharded(n)
+	return co.Clock(0), []systems.Option{systems.WithSharding(co, ShardPolicy())}
+}

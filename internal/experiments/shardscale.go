@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"asyncio/internal/core"
+	"asyncio/internal/systems"
+	"asyncio/internal/vclock"
+	"asyncio/internal/workloads/vpicio"
+)
+
+// ShardScale is the abl-shard ablation: VPIC-IO wall-clock and
+// simulator events/second versus intra-run shard count, for sync and
+// async I/O at each rank count. It is deliberately NOT in Registry():
+// its Y axis is host wall-clock, which no two machines (or even two
+// runs) reproduce byte-identically, so it must never enter the
+// determinism suites. Run it via `asyncio-bench -shardscale`.
+//
+// Simulated results are still engine-invariant — every point produces
+// the same virtual timeline at any shard count; only the host-side
+// throughput varies, which is the quantity under study.
+func ShardScale(scale Scale, rankCounts, shardCounts []int) (*Table, error) {
+	if len(rankCounts) == 0 {
+		// 4096 ranks matches the selfbench scaling workload.
+		rankCounts = []int{4096}
+		if n := len(scale.SummitNodes); n > 0 && scale.SummitNodes[n-1] >= 1024 {
+			// Full scale extends through 64Ki to 1Mi ranks (memory
+			// permitting: one goroutine per rank).
+			rankCounts = []int{4096, 1 << 16, 1 << 20}
+		}
+	}
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4, 8}
+	}
+	t := &Table{
+		ID:     "abl-shard",
+		Title:  "Engine sharding ablation: simulator events/s vs shard count, VPIC-IO on Summit",
+		XLabel: "shards", YLabel: "simulator Mevents/s (host wall-clock)",
+	}
+	for _, ranks := range rankCounts {
+		nodes := (ranks + 5) / 6 // Summit hosts 6 ranks per node
+		for _, mode := range []core.Mode{core.ForceSync, core.ForceAsync} {
+			var xs, ys []float64
+			for _, shards := range shardCounts {
+				clk, shardOpts := newClock(shards)
+				sys := systems.Summit(clk, nodes, shardOpts...)
+				ev0 := vclock.TotalEvents()
+				start := time.Now()
+				_, _, err := vpicio.Run(sys, vpicio.Config{
+					Steps:            2,
+					ParticlesPerRank: 64,
+					ComputeTime:      time.Second,
+					Mode:             mode,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("abl-shard %dr %v shards=%d: %w", ranks, mode, shards, err)
+				}
+				wall := time.Since(start)
+				events := vclock.TotalEvents() - ev0
+				xs = append(xs, float64(shards))
+				ys = append(ys, float64(events)/wall.Seconds()/1e6)
+				t.note("%dr %v shards=%d: %d events in %v", ranks, mode, shards, events, wall.Round(time.Millisecond))
+			}
+			t.Series = append(t.Series, Series{
+				Name: fmt.Sprintf("%v-%dr", mode, ranks), X: xs, Y: ys,
+			})
+		}
+	}
+	return t, nil
+}

@@ -51,7 +51,11 @@ type Server struct {
 	mu    sync.Mutex
 	clk   *vclock.Clock
 	capFn Capacity
-	flows map[*flowState]struct{}
+	// flows is kept in arrival order. Iteration order is observable —
+	// completion fires per-flow events, and water-filling accumulates
+	// floating-point remainders — so it must not vary between runs the
+	// way map iteration does.
+	flows []*flowState
 	timer *vclock.Timer
 	last  time.Duration // virtual time of the last rate recomputation
 	// pending marks a zero-delay rebalance already scheduled for the
@@ -72,7 +76,7 @@ type flowState struct {
 
 // NewServer returns a Server on clk with the given capacity function.
 func NewServer(clk *vclock.Clock, capFn Capacity) *Server {
-	return &Server{clk: clk, capFn: capFn, flows: make(map[*flowState]struct{})}
+	return &Server{clk: clk, capFn: capFn}
 }
 
 // Active returns the number of in-flight flows.
@@ -103,7 +107,7 @@ func (s *Server) TransferLimited(p *vclock.Proc, bytes int64, maxRate float64) t
 	}
 	s.mu.Lock()
 	s.advanceLocked(start)
-	s.flows[f] = struct{}{}
+	s.flows = append(s.flows, f)
 	if !s.pending {
 		s.pending = true
 		s.clk.AfterFunc(0, s.onRebalance)
@@ -130,7 +134,7 @@ func (s *Server) advanceLocked(now time.Duration) {
 		return
 	}
 	dt := (now - s.last).Seconds()
-	for f := range s.flows {
+	for _, f := range s.flows {
 		f.remaining -= f.rate * dt
 	}
 	s.last = now
@@ -139,12 +143,18 @@ func (s *Server) advanceLocked(now time.Duration) {
 // rescheduleLocked fires finished flows, reallocates rates, and arms the
 // completion timer for the next departure.
 func (s *Server) rescheduleLocked(now time.Duration) {
-	for f := range s.flows {
+	live := s.flows[:0]
+	for _, f := range s.flows {
 		if f.remaining <= epsBytes {
-			delete(s.flows, f)
 			f.done.Fire()
+		} else {
+			live = append(live, f)
 		}
 	}
+	for i := len(live); i < len(s.flows); i++ {
+		s.flows[i] = nil
+	}
+	s.flows = live
 	if s.timer != nil {
 		s.timer.Stop()
 		s.timer = nil
@@ -154,7 +164,7 @@ func (s *Server) rescheduleLocked(now time.Duration) {
 	}
 	s.allocateLocked()
 	next := math.Inf(1)
-	for f := range s.flows {
+	for _, f := range s.flows {
 		if f.rate <= 0 {
 			continue
 		}
@@ -183,7 +193,7 @@ func (s *Server) onTimer(now time.Duration) {
 	// flow may be a hair short of done. Treat anything within one
 	// nanosecond of service as complete.
 	minResidue := math.Inf(1)
-	for f := range s.flows {
+	for _, f := range s.flows {
 		if f.rate > 0 {
 			if r := f.remaining / f.rate; r < minResidue {
 				minResidue = r
@@ -191,7 +201,7 @@ func (s *Server) onTimer(now time.Duration) {
 		}
 	}
 	if minResidue > 0 && minResidue*float64(time.Second) < 2 {
-		for f := range s.flows {
+		for _, f := range s.flows {
 			if f.rate > 0 && f.remaining/f.rate <= minResidue {
 				f.remaining = 0
 			}
@@ -206,7 +216,7 @@ func (s *Server) allocateLocked() {
 	n := len(s.flows)
 	capacity := s.capFn(n)
 	uncapped := make([]*flowState, 0, n)
-	for f := range s.flows {
+	for _, f := range s.flows {
 		f.rate = 0
 		uncapped = append(uncapped, f)
 	}

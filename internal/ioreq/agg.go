@@ -66,6 +66,7 @@ type AggStage struct {
 
 	mu      sync.Mutex
 	pending map[aggKey]*aggChain
+	seq     int64 // stamps chains with creation order for Flush
 
 	buffered    atomic.Int64
 	dispatched  atomic.Int64
@@ -81,6 +82,7 @@ type aggKey struct {
 type aggChain struct {
 	reqs  []*Request
 	bytes int64
+	seq   int64
 }
 
 // NewAgg returns an aggregation stage. A disabled config yields a stage
@@ -135,7 +137,8 @@ func (a *AggStage) Process(req *Request, next func(*Request) error) error {
 	a.mu.Lock()
 	ch := a.pending[k]
 	if ch == nil {
-		ch = &aggChain{}
+		a.seq++
+		ch = &aggChain{seq: a.seq}
 		a.pending[k] = ch
 	}
 	ch.reqs = append(ch.reqs, req)
@@ -164,6 +167,9 @@ func (a *AggStage) Flush(p *vclock.Proc, next func(*Request) error) error {
 		chains = append(chains, ch)
 	}
 	a.mu.Unlock()
+	// Dispatch order is observable (each dispatch charges virtual time
+	// to p); map order is not deterministic, chain creation order is.
+	sort.Slice(chains, func(i, j int) bool { return chains[i].seq < chains[j].seq })
 	var first error
 	for _, ch := range chains {
 		if err := a.dispatch(ch, p, next); err != nil && first == nil {

@@ -13,6 +13,7 @@ package mpi
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -111,18 +112,40 @@ func Run(clk *vclock.Clock, size int, costs Costs, fn func(c *Comm)) *World {
 	if size <= 0 {
 		panic(fmt.Sprintf("mpi: invalid world size %d", size))
 	}
+	return RunOn([]*vclock.Clock{clk}, size, costs, fn)
+}
+
+// RunOn is Run with an explicit clock per rank: clks holds either one
+// clock for all ranks or exactly size clocks (rank r runs on clks[r]).
+// With shard clocks of one vclock.Coordinator this partitions the world
+// across shards; world-level rendezvous events live on clks[0] and wake
+// waiters cross-shard. The returned World's Finished/Kill/Err behave as
+// in Run.
+func RunOn(clks []*vclock.Clock, size int, costs Costs, fn func(c *Comm)) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: invalid world size %d", size))
+	}
+	if len(clks) != 1 && len(clks) != size {
+		panic(fmt.Sprintf("mpi: RunOn with %d clocks for %d ranks", len(clks), size))
+	}
 	w := &World{
-		clk:   clk,
+		clk:   clks[0],
 		size:  size,
 		costs: costs,
 		colls: make(map[int64]*collSlot),
 		boxes: make(map[msgKey]*mailbox),
 		procs: make([]*vclock.Proc, size),
 	}
-	release := clk.Hold()
+	// Holding any one shard pins global virtual time, so the spawn loop
+	// cannot race the first ranks into a false deadlock.
+	release := clks[0].Hold()
 	defer release()
 	for r := 0; r < size; r++ {
 		c := &Comm{w: w, rank: r}
+		clk := clks[0]
+		if len(clks) == size {
+			clk = clks[r]
+		}
 		clk.Go(fmt.Sprintf("rank%d", r), func(p *vclock.Proc) {
 			defer func() {
 				w.mu.Lock()
@@ -190,13 +213,36 @@ func (w *World) abortAs(now time.Duration, rank int, err error) {
 
 // abortEventsLocked collects (and clears) every event a rank is blocked
 // on — collective rendezvous and receive waits. Caller holds w.mu and
-// fires the events after releasing it.
+// fires the events after releasing it. The collection order is part of
+// the simulation's output (it decides the order blocked ranks unwind),
+// so both maps are walked in sorted key order — never in Go's
+// randomized map order.
 func (w *World) abortEventsLocked() []*vclock.Event {
 	var evs []*vclock.Event
-	for _, slot := range w.colls {
-		evs = append(evs, slot.ev)
+	collKeys := make([]int64, 0, len(w.colls))
+	for key := range w.colls {
+		collKeys = append(collKeys, key)
 	}
-	for _, mb := range w.boxes {
+	sort.Slice(collKeys, func(i, j int) bool { return collKeys[i] < collKeys[j] })
+	for _, key := range collKeys {
+		evs = append(evs, w.colls[key].ev)
+	}
+	boxKeys := make([]msgKey, 0, len(w.boxes))
+	for key := range w.boxes {
+		boxKeys = append(boxKeys, key)
+	}
+	sort.Slice(boxKeys, func(i, j int) bool {
+		a, b := boxKeys[i], boxKeys[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		return a.tag < b.tag
+	})
+	for _, key := range boxKeys {
+		mb := w.boxes[key]
 		for _, wt := range mb.waiters {
 			evs = append(evs, wt.ev)
 		}

@@ -1,0 +1,101 @@
+package shard
+
+import "testing"
+
+// FuzzParseSpec asserts the spec grammar never panics, that anything
+// which parses round-trips through String, and that Resolve of a parsed
+// spec stays within [1, min(ranks, MaxShards)] for every budget.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"auto", "1", "2", "4", "16", "256",
+		"4:block", "4:stripe", "auto:stripe", " 8:block ",
+		"0", "-1", "257", "1000000000000000000000", "four",
+		"4:zigzag", "", ":", "auto:", "4:", "a u t o",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sp, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		re, err := ParseSpec(sp.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", sp.String(), s, err)
+		}
+		if re != sp {
+			t.Fatalf("round-trip of %q: %+v != %+v", s, re, sp)
+		}
+		for _, ranks := range []int{0, 1, 2, 7, 4096} {
+			for _, cores := range []int{0, 1, 4, 1 << 20} {
+				n := sp.Resolve(ranks, cores)
+				if n < 1 {
+					t.Fatalf("Resolve(%d, %d) of %q = %d < 1", ranks, cores, s, n)
+				}
+				if ranks >= 1 && n > ranks {
+					t.Fatalf("Resolve(%d, %d) of %q = %d > ranks", ranks, cores, s, n)
+				}
+				if n > MaxShards {
+					t.Fatalf("Resolve(%d, %d) of %q = %d > MaxShards", ranks, cores, s, n)
+				}
+			}
+		}
+	})
+}
+
+// FuzzPlan asserts every plan over arbitrary sizes is a disjoint cover
+// (Validate passes), that degenerate inputs (1 rank, more shards than
+// ranks, targets ≫ shards) fall back to exactly one shard, and that the
+// block policy assigns contiguous monotone ranges.
+func FuzzPlan(f *testing.F) {
+	f.Add(10, 4, 3, false)
+	f.Add(1, 72, 4, false)   // 1 rank → N=1
+	f.Add(3, 500, 8, true)   // targets ≫ shards, shards > ranks → N=1
+	f.Add(4096, 72, 4, true) // the bench workload shape
+	f.Add(0, 0, 0, false)
+	f.Add(2, 1, 2, false)
+	f.Add(100, 0, 256, true)
+	f.Fuzz(func(t *testing.T, ranks, targets, shards int, stripe bool) {
+		if ranks < 0 {
+			ranks = -ranks
+		}
+		if targets < 0 {
+			targets = -targets
+		}
+		if ranks > 1<<16 {
+			ranks %= 1 << 16
+		}
+		if targets > 1<<12 {
+			targets %= 1 << 12
+		}
+		policy := PolicyBlock
+		if stripe {
+			policy = PolicyStripe
+		}
+		p, err := NewPlan(Spec{N: shards, Policy: policy}, ranks, targets, shards)
+		if err != nil {
+			t.Fatalf("NewPlan(%d, %d, %d): %v", ranks, targets, shards, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("NewPlan(%d, %d, %d) invalid: %v", ranks, targets, shards, err)
+		}
+		if len(p.RankShard) != ranks || len(p.TargetShard) != targets {
+			t.Fatalf("plan sizes %d/%d, want %d/%d", len(p.RankShard), len(p.TargetShard), ranks, targets)
+		}
+		degenerate := shards < 1 || ranks < 2 || shards > ranks
+		if degenerate && p.Shards != 1 {
+			t.Fatalf("degenerate NewPlan(%d, %d, %d) kept %d shards", ranks, targets, shards, p.Shards)
+		}
+		if !degenerate && p.Shards != shards {
+			t.Fatalf("NewPlan(%d, %d, %d) resolved to %d shards", ranks, targets, shards, p.Shards)
+		}
+		if policy == PolicyBlock {
+			for r := 1; r < len(p.RankShard); r++ {
+				if p.RankShard[r] < p.RankShard[r-1] {
+					t.Fatalf("block plan not monotone at rank %d: %v...", r, p.RankShard[:r+1])
+				}
+			}
+		}
+	})
+}

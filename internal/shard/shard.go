@@ -1,0 +1,193 @@
+// Package shard parses shard-count specs and plans the rank/target
+// partition for the sharded event engine (internal/vclock.Coordinator).
+//
+// A spec is what the CLIs accept for -shards:
+//
+//	auto          pick from the core budget (GOMAXPROCS / sweep workers)
+//	N             exactly N shards (N >= 1)
+//	N:block       N shards, contiguous rank blocks (the default policy,
+//	              which keeps a node's ranks on one shard)
+//	N:stripe      N shards, round-robin rank assignment
+//
+// A Plan assigns every rank and every PFS target to a shard. Plans are
+// always a disjoint cover — each rank and target belongs to exactly one
+// shard — and degenerate inputs (a single rank, more shards than ranks,
+// zero targets) fall back to a single-shard plan rather than erroring,
+// so callers can apply a user spec to any workload size.
+package shard
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Policies for rank assignment.
+const (
+	PolicyBlock  = "block"
+	PolicyStripe = "stripe"
+)
+
+// MaxShards bounds accepted shard counts; beyond this the per-shard
+// batches are too small for the coordinator's window overhead.
+const MaxShards = 256
+
+// Spec is a parsed -shards value.
+type Spec struct {
+	// Auto picks the shard count from the runtime core budget.
+	Auto bool
+	// N is the requested shard count when !Auto.
+	N int
+	// Policy is the rank-assignment policy (PolicyBlock or PolicyStripe).
+	Policy string
+}
+
+// ParseSpec parses a -shards flag value.
+func ParseSpec(raw string) (Spec, error) {
+	s := strings.TrimSpace(strings.ToLower(raw))
+	policy := PolicyBlock
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		switch p := s[i+1:]; p {
+		case PolicyBlock, PolicyStripe:
+			policy = p
+		default:
+			return Spec{}, fmt.Errorf("shard: unknown policy %q (want %s or %s)", p, PolicyBlock, PolicyStripe)
+		}
+		s = s[:i]
+	}
+	if s == "auto" {
+		return Spec{Auto: true, Policy: policy}, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return Spec{}, fmt.Errorf("shard: invalid shard count %q", raw)
+	}
+	if n < 1 || n > MaxShards {
+		return Spec{}, fmt.Errorf("shard: shard count %d outside 1..%d", n, MaxShards)
+	}
+	return Spec{N: n, Policy: policy}, nil
+}
+
+// Resolve returns the effective shard count for a run of the given rank
+// count with the given core budget (cores already divided by any sweep
+// fan-out). Degenerate combinations collapse to 1: fewer than 2 ranks,
+// fewer than 2 cores for an auto spec, or a request exceeding the rank
+// count.
+func (sp Spec) Resolve(ranks, cores int) int {
+	n := sp.N
+	if sp.Auto {
+		n = cores
+		if n > MaxShards {
+			n = MaxShards
+		}
+	}
+	if n > ranks {
+		n = ranks
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Plan is a disjoint cover of ranks and targets by shards.
+type Plan struct {
+	Shards      int
+	Policy      string
+	RankShard   []int // rank → shard
+	TargetShard []int // PFS target index → shard
+}
+
+// NewPlan partitions ranks and targets across shards using the spec's
+// policy. Degenerate inputs (ranks < 2, shards > ranks after Resolve's
+// clamp, non-positive shards) yield a clean single-shard plan. Targets
+// are striped across shards regardless of policy — target count is tiny
+// and striping balances them.
+func NewPlan(sp Spec, ranks, targets, shards int) (Plan, error) {
+	if ranks < 0 || targets < 0 {
+		return Plan{}, fmt.Errorf("shard: negative sizes (ranks %d, targets %d)", ranks, targets)
+	}
+	policy := sp.Policy
+	if policy == "" {
+		policy = PolicyBlock
+	}
+	if policy != PolicyBlock && policy != PolicyStripe {
+		return Plan{}, fmt.Errorf("shard: unknown policy %q", policy)
+	}
+	if shards < 1 || ranks < 2 || shards > ranks {
+		shards = 1
+	}
+	p := Plan{
+		Shards:      shards,
+		Policy:      policy,
+		RankShard:   make([]int, ranks),
+		TargetShard: make([]int, targets),
+	}
+	if shards > 1 {
+		switch policy {
+		case PolicyStripe:
+			for r := range p.RankShard {
+				p.RankShard[r] = r % shards
+			}
+		default: // block: contiguous ranges, remainder spread over the first shards
+			per, rem := ranks/shards, ranks%shards
+			r := 0
+			for s := 0; s < shards; s++ {
+				n := per
+				if s < rem {
+					n++
+				}
+				for i := 0; i < n; i++ {
+					p.RankShard[r] = s
+					r++
+				}
+			}
+		}
+		for t := range p.TargetShard {
+			p.TargetShard[t] = t % shards
+		}
+	}
+	return p, nil
+}
+
+// Validate checks the disjoint-cover invariant: every rank and target
+// is assigned exactly one shard in [0, Shards), and when Shards > 1
+// every shard owns at least one rank (no empty shard — empty shards
+// would add coordinator overhead for nothing).
+func (p Plan) Validate() error {
+	if p.Shards < 1 {
+		return fmt.Errorf("shard: plan with %d shards", p.Shards)
+	}
+	seen := make([]int, p.Shards)
+	for r, s := range p.RankShard {
+		if s < 0 || s >= p.Shards {
+			return fmt.Errorf("shard: rank %d assigned to shard %d of %d", r, s, p.Shards)
+		}
+		seen[s]++
+	}
+	if p.Shards > 1 {
+		for s, n := range seen {
+			if n == 0 {
+				return fmt.Errorf("shard: shard %d owns no ranks", s)
+			}
+		}
+	}
+	for t, s := range p.TargetShard {
+		if s < 0 || s >= p.Shards {
+			return fmt.Errorf("shard: target %d assigned to shard %d of %d", t, s, p.Shards)
+		}
+	}
+	return nil
+}
+
+// String renders the spec back to flag form.
+func (sp Spec) String() string {
+	base := "auto"
+	if !sp.Auto {
+		base = strconv.Itoa(sp.N)
+	}
+	if sp.Policy != "" && sp.Policy != PolicyBlock {
+		return base + ":" + sp.Policy
+	}
+	return base
+}

@@ -1,0 +1,127 @@
+package shard
+
+import "testing"
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+		err  bool
+	}{
+		{in: "auto", want: Spec{Auto: true, Policy: PolicyBlock}},
+		{in: "1", want: Spec{N: 1, Policy: PolicyBlock}},
+		{in: "4", want: Spec{N: 4, Policy: PolicyBlock}},
+		{in: "4:stripe", want: Spec{N: 4, Policy: PolicyStripe}},
+		{in: "auto:stripe", want: Spec{Auto: true, Policy: PolicyStripe}},
+		{in: " 8:block ", want: Spec{N: 8, Policy: PolicyBlock}},
+		{in: "0", err: true},
+		{in: "-3", err: true},
+		{in: "1000000", err: true},
+		{in: "four", err: true},
+		{in: "4:zigzag", err: true},
+		{in: "", err: true},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseSpec(%q): want error, got %+v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	cases := []struct {
+		spec         Spec
+		ranks, cores int
+		want         int
+	}{
+		{Spec{Auto: true}, 4096, 4, 4},
+		{Spec{Auto: true}, 4096, 1, 1},
+		{Spec{Auto: true}, 2, 16, 2},
+		{Spec{N: 4}, 4096, 1, 4}, // explicit N ignores the core budget
+		{Spec{N: 8}, 3, 16, 3},
+		{Spec{N: 4}, 1, 16, 1}, // 1 rank → serial
+		{Spec{N: 4}, 0, 16, 1},
+	}
+	for _, c := range cases {
+		if got := c.spec.Resolve(c.ranks, c.cores); got != c.want {
+			t.Errorf("%+v.Resolve(%d, %d) = %d, want %d", c.spec, c.ranks, c.cores, got, c.want)
+		}
+	}
+}
+
+func TestPlanBlockContiguous(t *testing.T) {
+	p, err := NewPlan(Spec{N: 3}, 10, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 10 ranks over 3 shards: blocks of 4, 3, 3.
+	want := []int{0, 0, 0, 0, 1, 1, 1, 2, 2, 2}
+	for r, s := range p.RankShard {
+		if s != want[r] {
+			t.Fatalf("RankShard = %v, want %v", p.RankShard, want)
+		}
+	}
+	// Block assignment is monotone: contiguous ranks share shards.
+	for r := 1; r < len(p.RankShard); r++ {
+		if p.RankShard[r] < p.RankShard[r-1] {
+			t.Fatalf("block plan not monotone: %v", p.RankShard)
+		}
+	}
+}
+
+func TestPlanStripe(t *testing.T) {
+	p, err := NewPlan(Spec{N: 4, Policy: PolicyStripe}, 10, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for r, s := range p.RankShard {
+		if s != r%4 {
+			t.Fatalf("stripe RankShard = %v", p.RankShard)
+		}
+	}
+}
+
+func TestPlanDegenerateFallback(t *testing.T) {
+	cases := []struct {
+		ranks, targets, shards int
+	}{
+		{1, 72, 4},   // 1 rank
+		{0, 0, 4},    // empty
+		{3, 1, 8},    // shards > ranks
+		{100, 72, 0}, // non-positive shard count
+	}
+	for _, c := range cases {
+		p, err := NewPlan(Spec{N: c.shards}, c.ranks, c.targets, c.shards)
+		if err != nil {
+			t.Fatalf("NewPlan(%+v): %v", c, err)
+		}
+		if p.Shards != 1 {
+			t.Errorf("NewPlan(%+v).Shards = %d, want 1", c, p.Shards)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("NewPlan(%+v): %v", c, err)
+		}
+		for r, s := range p.RankShard {
+			if s != 0 {
+				t.Errorf("degenerate plan assigns rank %d to shard %d", r, s)
+			}
+		}
+	}
+}

@@ -67,16 +67,29 @@ func (e *Engine) instruments() (*metrics.Counter, *metrics.Histogram, *metrics.G
 // NewStream spawns an execution stream: a dedicated process that runs
 // pushed tasks in FIFO order. The stream runs until Shutdown.
 func (e *Engine) NewStream(name string) *Stream {
+	return e.NewStreamOn(e.clk, name)
+}
+
+// NewStreamOn is NewStream with the stream's process and events placed
+// on an explicit clock — under the sharded engine, a rank's background
+// stream lives on the rank's home shard so its task churn contends on
+// that shard's lock. clk must be the engine clock or a shard of the
+// same coordinator; nil falls back to the engine clock.
+func (e *Engine) NewStreamOn(clk *vclock.Clock, name string) *Stream {
+	if clk == nil {
+		clk = e.clk
+	}
 	s := &Stream{
 		e:      e,
+		clk:    clk,
 		name:   name,
-		wake:   vclock.NewEvent(e.clk),
-		exited: vclock.NewEvent(e.clk),
+		wake:   vclock.NewEvent(clk),
+		exited: vclock.NewEvent(clk),
 	}
 	e.mu.Lock()
 	e.streams = append(e.streams, s)
 	e.mu.Unlock()
-	e.clk.Go("stream:"+name, s.run)
+	clk.Go("stream:"+name, s.run)
 	return s
 }
 
@@ -94,6 +107,7 @@ func (e *Engine) ShutdownAll() {
 // Stream is a single background execution context.
 type Stream struct {
 	e    *Engine
+	clk  *vclock.Clock // home clock (a shard under the sharded engine)
 	name string
 
 	mu      sync.Mutex
@@ -129,7 +143,7 @@ func (s *Stream) Push(name string, deps []*Task, fn func(p *vclock.Proc) error) 
 		name: name,
 		deps: append([]*Task(nil), deps...),
 		fn:   fn,
-		done: vclock.NewEvent(s.e.clk),
+		done: vclock.NewEvent(s.clk),
 	}
 	s.mu.Lock()
 	if s.stopped {
@@ -227,7 +241,7 @@ func (s *Stream) run(p *vclock.Proc) {
 			}
 			// Re-arm the wake event (events are one-shot) and sleep
 			// until more work arrives.
-			s.wake = vclock.NewEvent(s.e.clk)
+			s.wake = vclock.NewEvent(s.clk)
 			wake := s.wake
 			s.mu.Unlock()
 			wake.Wait(p)

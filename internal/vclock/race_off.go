@@ -1,0 +1,7 @@
+//go:build !race
+
+package vclock
+
+// raceDetectorEnabled gates extra coordinator invariant checks; see
+// race_on.go.
+const raceDetectorEnabled = false

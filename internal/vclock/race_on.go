@@ -1,0 +1,8 @@
+//go:build race
+
+package vclock
+
+// raceDetectorEnabled gates extra coordinator invariant checks (lockstep
+// clock-drift assertions) that are cheap enough for race-instrumented
+// builds but off the hot path otherwise.
+const raceDetectorEnabled = true

@@ -1,0 +1,500 @@
+// Conservative intra-run sharding for the event engine.
+//
+// A Coordinator groups N member Clocks ("shards"), each owning its own
+// timer heap, mutex, entry pool, and process set. One simulated run is
+// partitioned across shards — ranks and their background streams live on
+// their home shard's clock, shared resources (PFS flow servers, fault
+// windows, crash timers, the metrics registry) on shard 0 — so the hot
+// paths (Sleep, AfterFunc, timer re-arm) contend on per-shard locks
+// instead of one global one.
+//
+// Synchronization is conservative, in the classic null-message /
+// lookahead style: no shard may advance past the global safe horizon
+//
+//	H = t_min + L
+//
+// where t_min is the earliest pending instant across all shards and L is
+// the coordinator's lookahead — a lower bound on the latency of any
+// cross-shard interaction. The lookahead also selects the wake-delivery
+// discipline:
+//
+//   - L = 0 (lockstep, the default and the only safe value while shards
+//     share zero-latency resources): the coordinator keeps ONE global
+//     serialized run queue. Every wakeup on any shard is parked there
+//     and delivered one at a time, each only when every shard is idle;
+//     a window's timer wakeups enter the queue in coordinator-wide
+//     creation-sequence order, exactly the serial engine's order. At
+//     most one process in the whole run is ever running, so every
+//     shared-state interaction happens in the serial engine's canonical
+//     order and runs are byte-identical to it by construction. This is
+//     the classic conservative-PDES degenerate case: zero lookahead
+//     admits no exploitable parallelism, and the engine honestly
+//     serializes rather than racing.
+//   - L > 0 (decoupled topologies, where every cross-shard interaction
+//     carries at least L of virtual latency): each shard keeps its OWN
+//     serialized run queue, delivering its wakeups one at a time at its
+//     own idle points while different shards execute their windows
+//     concurrently. Within a shard, execution is single-CPU-FIFO
+//     deterministic; across shards, the lookahead contract guarantees
+//     no same-window interaction, so the concurrency cannot reorder
+//     anything observable.
+//
+// The advance protocol ("poke"): every operation that drops a shard's
+// runnable count to zero pokes the coordinator after releasing the shard
+// lock. A poke acquires the coordinator mutex, then ALL shard locks (in
+// shard order) to verify global idleness — piecewise scanning would race
+// with a still-runnable process waking an already-scanned shard. If any
+// shard is runnable the poke returns; otherwise the coordinator delivers
+// the next queued wakeup, or — queues drained — pops the next window's
+// batches, synchronizes every shard's now, runs timer callbacks serially
+// in (time, seq) order, and parks the window's wakeups for delivery.
+// Callbacks-before-wakes pins the one ordering that does not commute: a
+// crash timer killing a proc that wakes at the same instant must publish
+// the kill before the victim resumes.
+// Lock order is always coordinator mutex → shard locks ascending; no
+// path acquires the coordinator mutex while holding a shard lock. The
+// run-queue mutex runQMu is a leaf, taken under shard locks.
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Coordinator synchronizes a set of shard Clocks. Construct with
+// NewSharded; the zero value is not usable.
+type Coordinator struct {
+	mu        sync.Mutex // advance serialization; never acquired under a shard lock
+	cond      *sync.Cond // on mu: signalled when the run completes or deadlocks
+	shards    []*Clock
+	lookahead time.Duration
+	done      bool
+	dead      bool
+	deadMsg   string
+
+	// lockstep mirrors lookahead == 0 for lock-free reads on the wake
+	// parking hot path; seqCtr stamps timer entries across all shards in
+	// creation order (see Clock.push).
+	lockstep atomic.Bool
+	seqCtr   atomic.Int64
+
+	// pokes counts poke requests; advancing marks an advance pass in
+	// flight. Together they make poke safe to call from a timer callback
+	// delivered by advanceLocked (Fire → kick → poke on the advancing
+	// goroutine itself), where blocking on mu would self-deadlock.
+	pokes     atomic.Int64
+	advancing atomic.Bool
+
+	// The global serialized run queue (lockstep mode). runQMu is a leaf
+	// lock: parkGlobal is called under a shard lock. runQHead indexes
+	// the next wake to deliver; the slice is reset when drained.
+	runQMu   sync.Mutex
+	runQ     []globalWake
+	runQHead int
+
+	// Reusable advance-loop buffers; only the advancing goroutine (which
+	// holds mu) touches them.
+	cbScratch   []shardCallback
+	wakeScratch []globalWake
+}
+
+// globalWake is one parked wakeup on the coordinator's run queue: the
+// channel to signal and the shard clock to charge the runnable claim to
+// at delivery. seq orders a window's timer wakeups; dynamic parks use 0
+// and simple FIFO order.
+type globalWake struct {
+	c   *Clock
+	ch  chan struct{}
+	seq int64
+}
+
+// parkGlobal parks ch on the coordinator's run queue (lockstep mode).
+// Caller holds c.mu; runQMu is a leaf below every shard lock.
+func (co *Coordinator) parkGlobal(c *Clock, ch chan struct{}) {
+	co.runQMu.Lock()
+	co.runQ = append(co.runQ, globalWake{c: c, ch: ch})
+	co.runQMu.Unlock()
+}
+
+// shardCallback is one timer callback popped during an advance window,
+// tagged for deterministic execution order.
+type shardCallback struct {
+	fn    func(now time.Duration)
+	at    time.Duration
+	shard int
+	seq   int64
+}
+
+// NewSharded returns a Coordinator with n member clocks, all at virtual
+// time zero, with lookahead zero (lockstep windows). n < 1 is treated
+// as 1; a single-shard coordinator behaves exactly like a serial Clock.
+func NewSharded(n int) *Coordinator {
+	if n < 1 {
+		n = 1
+	}
+	co := &Coordinator{shards: make([]*Clock, n)}
+	co.cond = sync.NewCond(&co.mu)
+	co.lockstep.Store(true)
+	for i := range co.shards {
+		c := New()
+		c.coord = co
+		c.shard = i
+		co.shards[i] = c
+	}
+	return co
+}
+
+// NumShards returns the number of member clocks.
+func (co *Coordinator) NumShards() int { return len(co.shards) }
+
+// Clock returns shard i's clock.
+func (co *Coordinator) Clock(i int) *Clock { return co.shards[i] }
+
+// Clocks returns the member clocks in shard order. The returned slice
+// must not be mutated.
+func (co *Coordinator) Clocks() []*Clock { return co.shards }
+
+// SetLookahead sets the conservative lookahead L: shards may fire events
+// up to t_min + L per window. L must be a lower bound on the virtual
+// latency of every cross-shard interaction; L = 0 (the default, and the
+// safe value whenever shards share zero-latency resources) yields
+// globally serialized lockstep execution, byte-identical to the serial
+// engine. Call before the run starts.
+func (co *Coordinator) SetLookahead(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	co.mu.Lock()
+	co.lookahead = d
+	co.lockstep.Store(d == 0)
+	co.mu.Unlock()
+}
+
+// Lookahead returns the current lookahead.
+func (co *Coordinator) Lookahead() time.Duration {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.lookahead
+}
+
+// Events returns the total fired entries across all shards.
+func (co *Coordinator) Events() int64 {
+	var n int64
+	for _, s := range co.shards {
+		n += s.Events()
+	}
+	return n
+}
+
+// EventsByShard returns per-shard fired-entry counts in shard order.
+func (co *Coordinator) EventsByShard() []int64 {
+	out := make([]int64, len(co.shards))
+	for i, s := range co.shards {
+		out[i] = s.Events()
+	}
+	return out
+}
+
+// Wait blocks the host goroutine (in real time) until every process on
+// every shard has finished and no timer callback is in flight. It
+// returns an error if the run deadlocked. Member clocks' Wait delegates
+// here, so sys.Clk.Wait() joins the whole sharded run.
+func (co *Coordinator) Wait() error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	// A run that never spawned a process has no final poke; evaluate once.
+	co.drainPokesLocked()
+	for !co.done && !co.dead {
+		co.cond.Wait()
+	}
+	if co.dead {
+		return fmt.Errorf("vclock: deadlock: %s", co.deadMsg)
+	}
+	return nil
+}
+
+// poke is called (without any shard lock held) whenever a shard's
+// runnable count may have dropped to zero, or a wakeup was parked. It
+// serializes on co.mu and advances virtual time while the whole system
+// is idle. Callable from anywhere — including a timer callback that the
+// advance pass itself is running (Fire → kick → poke on the advancing
+// goroutine): the request is recorded in the counter and the in-flight
+// pass re-evaluates before finishing, instead of self-deadlocking on mu.
+func (co *Coordinator) poke() {
+	co.pokes.Add(1)
+	if co.advancing.Load() {
+		return
+	}
+	co.mu.Lock()
+	co.drainPokesLocked()
+	co.mu.Unlock()
+}
+
+// drainPokesLocked runs advance passes until no poke arrived during the
+// last one. The advancing flag diverts nested and concurrent pokes into
+// the counter; the re-check after clearing the flag closes the window
+// where a poke lands between the final count read and the clear (any
+// poke after that re-check observes advancing == false and takes the
+// mutex path itself).
+func (co *Coordinator) drainPokesLocked() {
+	co.advancing.Store(true)
+	for {
+		seen := co.pokes.Load()
+		co.advanceLocked()
+		if co.pokes.Load() != seen {
+			continue
+		}
+		co.advancing.Store(false)
+		if co.pokes.Load() == seen {
+			return
+		}
+		co.advancing.Store(true)
+	}
+}
+
+// lockShards acquires every shard lock in shard order; unlockShards
+// releases them. Caller holds co.mu.
+func (co *Coordinator) lockShards() {
+	for _, s := range co.shards {
+		s.mu.Lock()
+	}
+}
+
+func (co *Coordinator) unlockShards() {
+	for i := len(co.shards) - 1; i >= 0; i-- {
+		co.shards[i].mu.Unlock()
+	}
+}
+
+// popRunQLocked removes and returns the head of the global run queue.
+// Caller holds co.mu and all shard locks; runQMu fences concurrent
+// parkGlobal appends from host-goroutine wakers.
+func (co *Coordinator) popRunQLocked() (globalWake, bool) {
+	co.runQMu.Lock()
+	defer co.runQMu.Unlock()
+	if co.runQHead >= len(co.runQ) {
+		return globalWake{}, false
+	}
+	w := co.runQ[co.runQHead]
+	co.runQ[co.runQHead] = globalWake{}
+	co.runQHead++
+	if co.runQHead == len(co.runQ) {
+		co.runQ = co.runQ[:0]
+		co.runQHead = 0
+	}
+	return w, true
+}
+
+// advanceLocked advances virtual time window by window while no process
+// on any shard is runnable. Caller holds co.mu. Each pass: verify global
+// idleness under all shard locks; deliver the next serialized wakeup if
+// one is queued (global queue under lockstep, one per shard otherwise);
+// with queues drained, compute the horizon t_min + lookahead, pop each
+// participating shard's batch, synchronize clocks, run callbacks
+// serially in (time, seq) order with the locks released, and park the
+// window's wakeups for delivery on the next pass. The loop keeps long
+// callback chains at constant stack depth, exactly like the serial
+// engine.
+func (co *Coordinator) advanceLocked() {
+	lockstep := co.lockstep.Load()
+	for {
+		if co.done || co.dead {
+			return
+		}
+		co.lockShards()
+		totalRunning, totalAlive := 0, 0
+		for _, s := range co.shards {
+			totalRunning += s.running
+			totalAlive += s.alive
+		}
+		if totalRunning > 0 {
+			co.unlockShards()
+			return
+		}
+		if lockstep {
+			// Deliver exactly one parked wake per global idle point: the
+			// woken proc runs with every process on every shard parked,
+			// matching single-CPU FIFO order across the whole run.
+			if w, ok := co.popRunQLocked(); ok {
+				w.c.running++
+				co.unlockShards()
+				w.ch <- struct{}{}
+				return
+			}
+		} else {
+			// Lookahead > 0: shard-local queues, one delivery per shard;
+			// the shards then run their chains concurrently.
+			delivered := false
+			for _, s := range co.shards {
+				if s.deferHead < len(s.deferredQ) {
+					s.deliverLocalLocked()
+					delivered = true
+				}
+			}
+			if delivered {
+				co.unlockShards()
+				return
+			}
+		}
+		if totalAlive == 0 {
+			// The last process has exited: the run is over. Pending
+			// timers (e.g. fault windows beyond the end of the run) stay
+			// unfired, matching the serial engine.
+			co.done = true
+			for _, s := range co.shards {
+				s.idle.Broadcast()
+			}
+			co.unlockShards()
+			co.cond.Broadcast()
+			return
+		}
+		// Earliest pending instant across all shards.
+		var tmin time.Duration
+		found := false
+		for _, s := range co.shards {
+			if s.queue.Len() > 0 {
+				if t := s.queue[0].at; !found || t < tmin {
+					tmin, found = t, true
+				}
+			}
+		}
+		if !found {
+			// Everything is blocked and nothing is scheduled anywhere:
+			// global deadlock. Poison every shard so Go panics and Wait
+			// reports it.
+			co.dead = true
+			co.deadMsg = co.describeStuckLocked()
+			for _, s := range co.shards {
+				s.dead = true
+				s.deadMsg = co.deadMsg
+				s.idle.Broadcast()
+			}
+			co.unlockShards()
+			co.cond.Broadcast()
+			return
+		}
+		horizon := tmin + co.lookahead
+		cbs := co.cbScratch[:0]
+		winWakes := co.wakeScratch[:0]
+		for si, s := range co.shards {
+			if s.queue.Len() == 0 || s.queue[0].at > horizon {
+				// Non-participant: pull its clock up to the window floor
+				// so Now() stays globally consistent under lockstep.
+				if tmin > s.now {
+					s.now = tmin
+					s.nowView.Store(int64(tmin))
+				}
+				continue
+			}
+			t := s.queue[0].at
+			if t < s.now {
+				panic(fmt.Sprintf(
+					"vclock: causality violation on shard %d: event at %v behind shard clock %v (lookahead %v too large for this topology)",
+					si, t, s.now, co.lookahead))
+			}
+			s.now = t
+			s.nowView.Store(int64(t))
+			var fired int64
+			for s.queue.Len() > 0 && s.queue[0].at == t {
+				e := heap.Pop(&s.queue).(*timerEntry)
+				fired++
+				if e.wake != nil {
+					if e.proc != nil {
+						e.proc.pending = nil
+					}
+					if lockstep {
+						winWakes = append(winWakes, globalWake{c: s, ch: e.wake, seq: e.seq})
+					} else {
+						s.deferredQ = append(s.deferredQ, e.wake)
+					}
+				} else {
+					// Callbacks count as runnable work on their shard so
+					// no poke can advance past them while they execute.
+					s.running++
+					cbs = append(cbs, shardCallback{fn: e.fn, at: t, shard: si, seq: e.seq})
+				}
+				s.recycle(e)
+			}
+			s.events.Add(fired)
+			totalEvents.Add(fired)
+		}
+		if lockstep {
+			// The window's wakeups enter the global run queue in
+			// creation-sequence order — the serial engine's pop order —
+			// ahead of anything the callbacks park behind them.
+			sort.Slice(winWakes, func(i, j int) bool { return winWakes[i].seq < winWakes[j].seq })
+			if len(winWakes) > 0 {
+				co.runQMu.Lock()
+				co.runQ = append(co.runQ, winWakes...)
+				co.runQMu.Unlock()
+			}
+			co.wakeScratch = winWakes[:0]
+			if raceDetectorEnabled {
+				// Lockstep invariant: every shard observes the same instant.
+				for _, s := range co.shards {
+					if s.now != tmin {
+						panic(fmt.Sprintf("vclock: lockstep drift: shard %d at %v, window at %v", s.shard, s.now, tmin))
+					}
+				}
+			}
+		}
+		co.unlockShards()
+		// Callbacks run to completion BEFORE the window's wakeups are
+		// delivered. This pins the one ordering that does not commute: a
+		// callback killing a proc that wakes at this same instant must set
+		// the kill flag before the victim resumes, or the victim races its
+		// own death. Callback order is deterministic: time, then the
+		// coordinator-wide creation sequence — exactly the serial engine's
+		// pop order.
+		if len(cbs) > 0 {
+			co.cbScratch = cbs
+			sort.Slice(cbs, func(i, j int) bool {
+				if cbs[i].at != cbs[j].at {
+					return cbs[i].at < cbs[j].at
+				}
+				return cbs[i].seq < cbs[j].seq
+			})
+			for _, cb := range cbs {
+				cb.fn(cb.at)
+			}
+			// Release the callbacks' runnable claims.
+			for si, s := range co.shards {
+				var n int
+				for _, cb := range cbs {
+					if cb.shard == si {
+						n++
+					}
+				}
+				if n > 0 {
+					s.mu.Lock()
+					s.running -= n
+					s.mu.Unlock()
+				}
+			}
+		}
+		// Loop: the next pass delivers the window's first parked wake —
+		// or evaluates the next window after a callback-only batch that
+		// parked nothing.
+	}
+}
+
+// describeStuckLocked aggregates every shard's stuck-process report.
+// Caller holds co.mu and all shard locks.
+func (co *Coordinator) describeStuckLocked() string {
+	parts := make([]string, 0, len(co.shards))
+	for i, s := range co.shards {
+		if len(s.procs) == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("shard %d: %s", i, s.describeStuckLocked()))
+	}
+	if len(parts) == 0 {
+		return "no procs registered"
+	}
+	return strings.Join(parts, "; ")
+}

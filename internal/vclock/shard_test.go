@@ -1,0 +1,279 @@
+package vclock
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// shardedTimes runs procs ("one per shard" when shards>1, all on the
+// single clock otherwise) that sleep through a fixed schedule and
+// records each proc's observed wake times. The per-proc timelines must
+// be identical for every shard count.
+func shardedTimes(t *testing.T, shards, procs int) map[string][]time.Duration {
+	t.Helper()
+	var clks []*Clock
+	var wait func() error
+	if shards <= 1 {
+		c := New()
+		clks = []*Clock{c}
+		wait = c.Wait
+	} else {
+		co := NewSharded(shards)
+		clks = co.Clocks()
+		wait = co.Wait
+	}
+	var mu sync.Mutex
+	got := make(map[string][]time.Duration)
+	release := clks[0].Hold()
+	for i := 0; i < procs; i++ {
+		name := fmt.Sprintf("p%d", i)
+		c := clks[i%len(clks)]
+		step := time.Duration(i+1) * time.Microsecond
+		c.Go(name, func(p *Proc) {
+			var times []time.Duration
+			for k := 0; k < 5; k++ {
+				p.Sleep(step)
+				times = append(times, p.Now())
+			}
+			mu.Lock()
+			got[name] = times
+			mu.Unlock()
+		})
+	}
+	release()
+	if err := wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	return got
+}
+
+func TestShardedMatchesSerial(t *testing.T) {
+	serial := shardedTimes(t, 1, 12)
+	for _, n := range []int{2, 4} {
+		sharded := shardedTimes(t, n, 12)
+		if len(sharded) != len(serial) {
+			t.Fatalf("shards=%d: %d procs finished, want %d", n, len(sharded), len(serial))
+		}
+		for name, want := range serial {
+			if fmt.Sprint(sharded[name]) != fmt.Sprint(want) {
+				t.Errorf("shards=%d proc %s: times %v, want %v", n, name, sharded[name], want)
+			}
+		}
+	}
+}
+
+func TestShardedNowConsistent(t *testing.T) {
+	co := NewSharded(3)
+	c0, c1 := co.Clock(0), co.Clock(1)
+	release := c0.Hold()
+	c0.Go("a", func(p *Proc) {
+		p.Sleep(10 * time.Microsecond)
+		// Under lockstep every shard observes the same instant.
+		for i, c := range co.Clocks() {
+			if c.Now() != 10*time.Microsecond {
+				t.Errorf("shard %d at %v, want 10µs", i, c.Now())
+			}
+		}
+	})
+	c1.Go("b", func(p *Proc) { p.Sleep(4 * time.Microsecond) })
+	release()
+	if err := co.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+}
+
+func TestShardedCrossShardEvent(t *testing.T) {
+	co := NewSharded(2)
+	c0, c1 := co.Clock(0), co.Clock(1)
+	ev := NewEvent(c0)
+	var woke time.Duration
+	release := c0.Hold()
+	c1.Go("waiter", func(p *Proc) {
+		ev.Wait(p)
+		woke = p.Now()
+	})
+	c0.Go("firer", func(p *Proc) {
+		p.Sleep(7 * time.Microsecond)
+		ev.Fire()
+	})
+	release()
+	if err := co.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if woke != 7*time.Microsecond {
+		t.Fatalf("waiter woke at %v, want 7µs", woke)
+	}
+}
+
+func TestShardedCrossShardKill(t *testing.T) {
+	co := NewSharded(2)
+	c0, c1 := co.Clock(0), co.Clock(1)
+	ev := NewEvent(c0) // never fired
+	boom := errors.New("boom")
+	var (
+		pmu    sync.Mutex
+		victim *Proc
+		died   error
+	)
+	release := c0.Hold()
+	c1.Go("victim", func(p *Proc) {
+		defer func() {
+			if k, ok := recover().(Killed); ok {
+				died = k.Reason
+			}
+		}()
+		pmu.Lock()
+		victim = p
+		pmu.Unlock()
+		ev.Wait(p)
+	})
+	// Time only advances once the victim is blocked on the event, so at
+	// 1µs the killer deterministically sees it mid-wait on shard 0's
+	// event from shard 1 — the cross-shard kill path.
+	c0.Go("killer", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		pmu.Lock()
+		v := victim
+		pmu.Unlock()
+		v.Kill(boom)
+	})
+	release()
+	if err := co.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if died != boom {
+		t.Fatalf("victim died with %v, want %v", died, boom)
+	}
+	// A later Fire must not double-wake the dead proc.
+	ev.Fire()
+}
+
+func TestShardedDeadlock(t *testing.T) {
+	co := NewSharded(2)
+	ev := NewEvent(co.Clock(0))
+	release := co.Clock(0).Hold()
+	co.Clock(0).Go("w0", func(p *Proc) { ev.Wait(p) })
+	co.Clock(1).Go("w1", func(p *Proc) { ev.Wait(p) })
+	release()
+	err := co.Wait()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "shard 0") {
+		t.Errorf("deadlock report missing shard attribution: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Go on poisoned shard did not panic")
+		}
+	}()
+	co.Clock(1).Go("late", func(p *Proc) {})
+}
+
+func TestShardedCallbackOrder(t *testing.T) {
+	co := NewSharded(3)
+	var order []int
+	release := co.Clock(0).Hold()
+	// Same-instant callbacks across shards run in creation order — the
+	// coordinator-wide sequence, exactly what a serial clock would do —
+	// regardless of which shard's heap each landed in.
+	for i := len(co.Clocks()) - 1; i >= 0; i-- {
+		i := i
+		co.Clock(i).AfterFunc(5*time.Microsecond, func(time.Duration) {
+			order = append(order, i)
+		})
+	}
+	co.Clock(0).Go("driver", func(p *Proc) { p.Sleep(10 * time.Microsecond) })
+	release()
+	if err := co.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if fmt.Sprint(order) != "[2 1 0]" {
+		t.Fatalf("callback order %v, want creation order [2 1 0]", order)
+	}
+}
+
+func TestShardedLookaheadWindows(t *testing.T) {
+	// Two fully decoupled shards with a generous lookahead: each may run
+	// ahead within the window, and both must still account virtual time
+	// exactly.
+	co := NewSharded(2)
+	co.SetLookahead(time.Millisecond)
+	if co.Lookahead() != time.Millisecond {
+		t.Fatalf("lookahead not set")
+	}
+	finals := make([]time.Duration, 2)
+	release := co.Clock(0).Hold()
+	for i := 0; i < 2; i++ {
+		i := i
+		step := time.Duration(7+3*i) * time.Microsecond
+		co.Clock(i).Go("p", func(p *Proc) {
+			for k := 0; k < 100; k++ {
+				p.Sleep(step)
+			}
+			finals[i] = p.Now()
+		})
+	}
+	release()
+	if err := co.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if finals[0] != 700*time.Microsecond || finals[1] != 1000*time.Microsecond {
+		t.Fatalf("finals %v, want [700µs 1ms]", finals)
+	}
+}
+
+func TestShardedEventsAccounting(t *testing.T) {
+	co := NewSharded(4)
+	release := co.Clock(0).Hold()
+	for i := 0; i < 8; i++ {
+		co.Clock(i%4).Go("p", func(p *Proc) {
+			for k := 0; k < 10; k++ {
+				p.Sleep(time.Microsecond)
+			}
+		})
+	}
+	release()
+	if err := co.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if got := co.Events(); got != 80 {
+		t.Fatalf("Events() = %d, want 80", got)
+	}
+	var sum int64
+	for _, n := range co.EventsByShard() {
+		sum += n
+	}
+	if sum != 80 {
+		t.Fatalf("EventsByShard sums to %d, want 80", sum)
+	}
+}
+
+func TestShardedWaitEmpty(t *testing.T) {
+	co := NewSharded(2)
+	if err := co.Wait(); err != nil {
+		t.Fatalf("wait on empty coordinator: %v", err)
+	}
+}
+
+func TestShardedForeignCoordinatorPanics(t *testing.T) {
+	co := NewSharded(2)
+	other := New()
+	ev := NewEvent(other)
+	release := co.Clock(0).Hold()
+	done := make(chan any, 1)
+	co.Clock(0).Go("w", func(p *Proc) {
+		defer func() { done <- recover() }()
+		ev.Wait(p)
+	})
+	// The spawned process is queued until the hold releases; release
+	// before blocking on its result.
+	release()
+	if r := <-done; r == nil {
+		t.Fatalf("cross-coordinator Wait did not panic")
+	}
+}

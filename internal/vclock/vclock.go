@@ -16,6 +16,19 @@
 // without the clock lock held and count as runnable work, so a callback
 // may freely use the full public API; time cannot advance underneath it.
 //
+// Determinism comes from full serialization of process execution: at any
+// real moment at most one process of a Clock is running. Every wakeup —
+// a timer window's sleeper batch, an Event.Fire, a Kill, a Go spawn — is
+// parked in a FIFO run queue rather than signalled immediately, and the
+// advance loop delivers exactly one parked wakeup whenever the clock is
+// idle (no process running, no callback in flight). The woken process
+// runs to its next blocking point before the next wakeup is delivered.
+// Same-instant processes therefore interact with shared simulation state
+// (message queues, caches, FIFO servers) in one canonical order — timer
+// pops in (time, seq) order, then dynamically-triggered wakeups in the
+// order the serialized execution produced them — regardless of
+// GOMAXPROCS, async preemption, or host-machine load.
+//
 // The event engine is built for throughput: timer entries are pooled and
 // recycled (generation-tagged so a stale Timer handle can never cancel or
 // re-fire a recycled entry), every Proc owns one reusable wake channel,
@@ -53,6 +66,24 @@ type Clock struct {
 
 	free      []*timerEntry             // recycled entries (the pool)
 	cbScratch []func(now time.Duration) // batch buffer for same-instant callbacks
+
+	// The serialized run queue (serial engine and per-shard under a
+	// lookahead > 0 coordinator; the lockstep coordinator keeps a global
+	// one instead — see shard.go). Every wakeup is parked here and
+	// delivered one at a time, each only once the clock is idle, so the
+	// woken proc runs with every other process parked at a blocking
+	// point — the order a single-CPU FIFO scheduler produces. deferHead
+	// indexes the next wake to deliver; the slice is reset when drained
+	// so the backing array is reused.
+	deferredQ []chan struct{}
+	deferHead int
+
+	// Sharded mode (see shard.go): when coord is non-nil this clock is
+	// shard `shard` of a Coordinator, which owns all time advancement;
+	// block sites poke it after releasing mu instead of advancing
+	// in-place. Both are set once at construction and read-only after.
+	coord *Coordinator
+	shard int
 }
 
 // New returns a Clock set to virtual time zero.
@@ -60,6 +91,21 @@ func New() *Clock {
 	c := &Clock{procs: make(map[*Proc]struct{})}
 	c.idle = sync.NewCond(&c.mu)
 	return c
+}
+
+// Coordinator returns the coordinator this clock is a shard of, or nil
+// for a serial clock.
+func (c *Clock) Coordinator() *Coordinator { return c.coord }
+
+// Shard returns this clock's shard index within its coordinator; 0 for
+// a serial clock.
+func (c *Clock) Shard() int { return c.shard }
+
+// pokeNeededLocked reports whether the caller, having just decremented
+// running, must poke the coordinator after releasing c.mu. Serial clocks
+// never need a poke (blockLocked advances in-place).
+func (c *Clock) pokeNeededLocked() bool {
+	return c.coord != nil && c.running == 0
 }
 
 // blocking reasons, formatted lazily only for deadlock reports so the hot
@@ -116,35 +162,115 @@ func (k Killed) Error() string {
 func (p *Proc) Kill(reason error) {
 	c := p.c
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if p.killed.Load() {
+		c.mu.Unlock()
 		return
 	}
 	p.killErr = reason
 	p.killed.Store(true)
 	if e := p.pending; e != nil {
-		// Asleep: cancel the scheduled wakeup and wake it now to die.
+		// Asleep: cancel the scheduled wakeup and queue it to die.
 		heap.Remove(&c.queue, e.index)
 		c.recycle(e)
 		p.pending = nil
-		c.running++
-		p.wake <- struct{}{}
+		c.parkWakeLocked(p.wake)
+		c.mu.Unlock()
+		c.kick()
 		return
 	}
 	if ev := p.waitingOn; ev != nil {
-		// Blocked on an event: withdraw from the waiter list (a later
-		// Fire must not signal a dead proc) and wake it now to die.
-		for i, w := range ev.waiters {
-			if w == p {
-				ev.waiters = append(ev.waiters[:i], ev.waiters[i+1:]...)
-				break
-			}
-		}
+		// Blocked on an event: claim the wakeup by clearing waitingOn
+		// under the victim's clock lock — a racing Fire skips any waiter
+		// whose waitingOn no longer points at it — then withdraw from
+		// the waiter list so the event doesn't keep a dead proc.
 		p.waitingOn = nil
-		c.running++
-		p.wake <- struct{}{}
+		c.parkWakeLocked(p.wake)
+		if ev.c == c {
+			removeWaiterLocked(ev, p)
+			c.mu.Unlock()
+		} else {
+			// Cross-shard event: the waiter list is guarded by the
+			// event's clock lock, never held together with the victim's.
+			c.mu.Unlock()
+			ev.c.mu.Lock()
+			removeWaiterLocked(ev, p)
+			ev.c.mu.Unlock()
+		}
+		c.kick()
+		return
 	}
-	// Otherwise the proc is runnable; it dies at its next Sleep/Wait.
+	// Otherwise the proc is runnable (or already queued to run); it dies
+	// at its next blocking operation or at its queued wakeup.
+	c.mu.Unlock()
+}
+
+// removeWaiterLocked withdraws p from ev's waiter list if present.
+// Caller holds ev.c.mu. A concurrent Fire may already have stolen the
+// list, in which case p is simply absent.
+func removeWaiterLocked(ev *Event, p *Proc) {
+	for i, w := range ev.waiters {
+		if w == p {
+			ev.waiters = append(ev.waiters[:i], ev.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// parkWakeLocked enqueues a wakeup on the serialized run queue that owns
+// this clock's delivery order: the clock's own queue for a serial clock
+// or a lookahead > 0 shard, the coordinator's global queue under
+// lockstep. The woken proc carries no runnable claim while parked; the
+// delivering advance loop claims running++ at the moment it signals the
+// channel. Caller holds c.mu and should kick() after releasing it.
+func (c *Clock) parkWakeLocked(ch chan struct{}) {
+	if co := c.coord; co != nil && co.lockstep.Load() {
+		co.parkGlobal(c, ch)
+		return
+	}
+	c.deferredQ = append(c.deferredQ, ch)
+}
+
+// kick nudges delivery after parking wakes: a no-op while any process or
+// callback is running (the next block point delivers), it matters when
+// the parker is the host goroutine or a timer callback on an otherwise
+// idle clock. Caller must NOT hold c.mu.
+func (c *Clock) kick() {
+	co := c.coord
+	if co == nil {
+		c.mu.Lock()
+		c.maybeAdvanceLocked()
+		c.mu.Unlock()
+		return
+	}
+	if co.lockstep.Load() {
+		co.poke()
+		return
+	}
+	// Lookahead > 0 shard: delivery is shard-local.
+	c.mu.Lock()
+	c.deliverLocalLocked()
+	c.mu.Unlock()
+}
+
+// deliverLocalLocked delivers the head of this clock's own run queue if
+// the clock is idle. Caller holds c.mu. Used by lookahead > 0 shards
+// (and internally by the serial advance loop's equivalent path).
+func (c *Clock) deliverLocalLocked() {
+	if c.running > 0 || c.dead {
+		return
+	}
+	if c.deferHead >= len(c.deferredQ) {
+		return
+	}
+	ch := c.deferredQ[c.deferHead]
+	c.deferredQ[c.deferHead] = nil
+	c.deferHead++
+	if c.deferHead == len(c.deferredQ) {
+		c.deferredQ = c.deferredQ[:0]
+		c.deferHead = 0
+	}
+	c.running++
+	ch <- struct{}{}
 }
 
 // checkKilled panics with Killed if the proc has been killed. Safe to
@@ -187,7 +313,9 @@ var totalEvents atomic.Int64
 func TotalEvents() int64 { return totalEvents.Load() }
 
 // Go spawns fn as a new process. It may be called from the host goroutine
-// or from within another process. The process is runnable immediately.
+// or from within another process. The process's first run is queued like
+// any other wakeup, preserving the serialized execution order; a spawner
+// that needs several processes registered before any runs should Hold.
 func (c *Clock) Go(name string, fn func(p *Proc)) {
 	p := &Proc{c: c, name: name, wake: make(chan struct{}, 1)}
 	c.mu.Lock()
@@ -196,8 +324,8 @@ func (c *Clock) Go(name string, fn func(p *Proc)) {
 		panic("vclock: Go on deadlocked clock: " + c.deadMsg)
 	}
 	c.alive++
-	c.running++
 	c.procs[p] = struct{}{}
+	c.parkWakeLocked(p.wake)
 	c.mu.Unlock()
 	go func() {
 		defer func() {
@@ -205,7 +333,11 @@ func (c *Clock) Go(name string, fn func(p *Proc)) {
 			c.alive--
 			delete(c.procs, p)
 			c.unblockLocked() // running--; may advance time or end the run
+			poke := c.pokeNeededLocked()
 			c.mu.Unlock()
+			if poke {
+				c.coord.poke()
+			}
 		}()
 		defer func() {
 			// A Killed panic that nobody recovered means the spawner does
@@ -217,8 +349,11 @@ func (c *Clock) Go(name string, fn func(p *Proc)) {
 				}
 			}
 		}()
+		<-p.wake
+		p.checkKilled() // killed before first run: die without running fn
 		fn(p)
 	}()
+	c.kick()
 }
 
 // Hold pins virtual time: while held, the clock treats the holder as
@@ -236,7 +371,11 @@ func (c *Clock) Hold() (release func()) {
 		once.Do(func() {
 			c.mu.Lock()
 			c.unblockLocked()
+			poke := c.pokeNeededLocked()
 			c.mu.Unlock()
+			if poke {
+				c.coord.poke()
+			}
 		})
 	}
 }
@@ -246,8 +385,15 @@ func (c *Clock) Hold() (release func()) {
 // clock see a quiescent simulation. It returns an error if the clock
 // deadlocked.
 func (c *Clock) Wait() error {
+	if c.coord != nil {
+		// A shard finishes only when the whole sharded run finishes.
+		return c.coord.Wait()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// A run whose processes are all still parked (spawned but never
+	// delivered) has no block point to advance from; evaluate once.
+	c.maybeAdvanceLocked()
 	for (c.alive > 0 || c.running > 0) && !c.dead {
 		c.idle.Wait()
 	}
@@ -279,7 +425,11 @@ func (p *Proc) Sleep(d time.Duration) {
 	p.state = stateSleeping
 	p.stateAt = e.at
 	c.blockLocked()
+	poke := c.pokeNeededLocked()
 	c.mu.Unlock()
+	if poke {
+		c.coord.poke()
+	}
 	<-p.wake
 	p.state = stateRunning
 	p.checkKilled()
@@ -307,29 +457,75 @@ func (e *Event) Fired() bool {
 	return e.fired
 }
 
-// Fire signals the event, waking all current waiters at the present
-// instant. Firing an already-fired event is a no-op. Fire may be called
-// from a process, a timer callback, or the host goroutine.
+// Fire signals the event, queueing a wakeup for every current waiter at
+// the present instant. Firing an already-fired event is a no-op. Fire
+// may be called from a process, a timer callback, or the host goroutine.
+// Waiters may live on other shards of the event clock's coordinator:
+// each is parked on its own clock's run queue.
 func (e *Event) Fire() {
 	c := e.c
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if e.fired {
+		c.mu.Unlock()
 		return
 	}
 	e.fired = true
-	for _, p := range e.waiters {
-		c.running++
-		p.waitingOn = nil
-		p.wake <- struct{}{} // cap-1 per-proc channel; a waiter has no other pending wake
-	}
+	waiters := e.waiters
 	e.waiters = nil
+	if c.coord == nil {
+		// Serial: every waiter lives on this clock; park in
+		// registration order under the single lock. The waitingOn
+		// check skips waiters a racing Kill already claimed (it clears
+		// waitingOn under the waiter's lock, which is this one).
+		parked := false
+		for _, p := range waiters {
+			if p.waitingOn == e {
+				p.waitingOn = nil
+				c.parkWakeLocked(p.wake)
+				parked = true
+			}
+		}
+		c.mu.Unlock()
+		if parked {
+			c.kick()
+		}
+		return
+	}
+	c.mu.Unlock()
+	// Sharded: waiters may span shards. Park strictly in registration
+	// order, one waiter's clock at a time — under lockstep the global
+	// run-queue order is part of the output and must match the serial
+	// engine's registration order, so same-shard waiters must not jump
+	// ahead of earlier cross-shard ones. Kicks happen only after every
+	// waiter is parked; kicking mid-loop could deliver an early waiter
+	// whose execution then interleaves with the remaining parks.
+	kicks := waiters[:0]
+	for _, p := range waiters {
+		pc := p.c
+		pc.mu.Lock()
+		if p.waitingOn != e {
+			pc.mu.Unlock() // claimed by a concurrent Kill
+			continue
+		}
+		p.waitingOn = nil
+		pc.parkWakeLocked(p.wake)
+		pc.mu.Unlock()
+		kicks = append(kicks, p)
+	}
+	for _, p := range kicks {
+		p.c.kick()
+	}
 }
 
 // Wait blocks p until the event fires. Returns immediately if already
-// fired.
+// fired. p may live on a different shard than the event; both clocks
+// must then belong to one coordinator.
 func (e *Event) Wait(p *Proc) {
 	c := e.c
+	if p.c != c {
+		e.waitCross(p)
+		return
+	}
 	c.mu.Lock()
 	if p.killed.Load() {
 		c.mu.Unlock()
@@ -343,7 +539,51 @@ func (e *Event) Wait(p *Proc) {
 	p.waitingOn = e
 	p.state = stateEventWait
 	c.blockLocked()
+	poke := c.pokeNeededLocked()
 	c.mu.Unlock()
+	if poke {
+		c.coord.poke()
+	}
+	<-p.wake
+	p.state = stateRunning
+	p.checkKilled()
+}
+
+// waitCross is Wait for a waiter on a different shard than the event.
+// It takes both clock locks in shard order (deadlock-free because every
+// multi-lock path orders the same way and no path nests the coordinator
+// mutex inside a shard lock).
+func (e *Event) waitCross(p *Proc) {
+	ec, pc := e.c, p.c
+	if ec.coord == nil || ec.coord != pc.coord {
+		panic("vclock: Event.Wait across clocks that do not share a coordinator")
+	}
+	first, second := ec, pc
+	if pc.shard < ec.shard {
+		first, second = pc, ec
+	}
+	first.mu.Lock()
+	second.mu.Lock()
+	if p.killed.Load() {
+		second.mu.Unlock()
+		first.mu.Unlock()
+		panic(Killed{p.killErr})
+	}
+	if e.fired {
+		second.mu.Unlock()
+		first.mu.Unlock()
+		return
+	}
+	e.waiters = append(e.waiters, p)
+	p.waitingOn = e
+	p.state = stateEventWait
+	pc.blockLocked()
+	poke := pc.pokeNeededLocked()
+	second.mu.Unlock()
+	first.mu.Unlock()
+	if poke {
+		pc.coord.poke()
+	}
 	<-p.wake
 	p.state = stateRunning
 	p.checkKilled()
@@ -428,38 +668,68 @@ func (c *Clock) recycle(e *timerEntry) {
 	c.free = append(c.free, e)
 }
 
+// push stamps the entry's ordering sequence and inserts it in the heap.
+// Under a coordinator the sequence comes from a coordinator-wide counter
+// so that entries created by the same (serialized) execution order sort
+// identically regardless of which shard's heap they land in — the
+// linchpin of byte-identity between shard counts.
 func (c *Clock) push(e *timerEntry) {
-	c.seq++
-	e.seq = c.seq
+	if co := c.coord; co != nil {
+		e.seq = co.seqCtr.Add(1)
+	} else {
+		c.seq++
+		e.seq = c.seq
+	}
 	heap.Push(&c.queue, e)
 }
 
 // blockLocked marks the calling process as blocked and advances virtual
-// time if it was the last runnable one. Caller holds c.mu.
+// time if it was the last runnable one. Caller holds c.mu. In sharded
+// mode advancement belongs to the coordinator — but a lookahead > 0
+// shard first drains its own run queue (shard-local serialized
+// delivery); only when that is empty does the caller need to check
+// pokeNeededLocked and poke after releasing the lock.
 func (c *Clock) blockLocked() {
 	c.running--
-	c.maybeAdvanceLocked()
+	if co := c.coord; co == nil {
+		c.maybeAdvanceLocked()
+	} else if !co.lockstep.Load() {
+		c.deliverLocalLocked()
+	}
 }
 
 // unblockLocked is blockLocked for process exit paths.
 func (c *Clock) unblockLocked() {
 	c.running--
-	c.maybeAdvanceLocked()
+	if co := c.coord; co == nil {
+		c.maybeAdvanceLocked()
+	} else if !co.lockstep.Load() {
+		c.deliverLocalLocked()
+	}
 }
 
-// maybeAdvanceLocked advances virtual time while nothing is runnable.
-// Each iteration jumps to the earliest pending instant and fires every
-// entry scheduled there as one batch: proc wakeups are signalled on their
-// reusable channels, and callbacks run inline on this goroutine (with the
-// lock released) rather than on a spawned one — callbacks count as
+// maybeAdvanceLocked delivers the next serialized wakeup, advancing
+// virtual time when the run queue is empty. Each iteration first
+// delivers one parked wake, if any — the woken proc then runs alone
+// until its next blocking point, which re-enters this loop. With the
+// queue drained it jumps to the earliest pending instant and pops every
+// entry scheduled there as one batch: callbacks run to completion FIRST,
+// inline on this goroutine with the lock released — so a callback
+// killing a proc that wakes at this same instant publishes the kill flag
+// before the victim resumes — and the batch's proc wakeups are parked in
+// (time, seq) order for one-at-a-time delivery. Callbacks count as
 // runnable work, so no other goroutine can advance concurrently and the
-// shared batch buffer is safe. The loop (instead of recursion) keeps long
-// callback chains — e.g. a flow server rescheduling its completion timer
-// for the whole run — at constant stack depth. Caller holds c.mu; the
-// lock is held again on return.
+// shared batch buffer is safe. The loop (instead of recursion) keeps
+// long callback chains — e.g. a flow server rescheduling its completion
+// timer for the whole run — at constant stack depth. Caller holds c.mu;
+// the lock is held again on return.
 func (c *Clock) maybeAdvanceLocked() {
 	for {
 		if c.running > 0 || c.dead {
+			return
+		}
+		if c.deferHead < len(c.deferredQ) {
+			c.deliverLocalLocked()
 			return
 		}
 		if c.alive == 0 {
@@ -486,6 +756,7 @@ func (c *Clock) maybeAdvanceLocked() {
 		c.now = t
 		c.nowView.Store(int64(t))
 		cbs := c.cbScratch[:0]
+		nwakes := 0
 		var fired int64
 		for c.queue.Len() > 0 && c.queue[0].at == t {
 			e := heap.Pop(&c.queue).(*timerEntry)
@@ -494,8 +765,8 @@ func (c *Clock) maybeAdvanceLocked() {
 				if e.proc != nil {
 					e.proc.pending = nil
 				}
-				c.running++
-				e.wake <- struct{}{}
+				c.deferredQ = append(c.deferredQ, e.wake)
+				nwakes++
 			} else {
 				cbs = append(cbs, e.fn)
 			}
@@ -504,18 +775,23 @@ func (c *Clock) maybeAdvanceLocked() {
 		c.cbScratch = cbs
 		c.events.Add(fired)
 		totalEvents.Add(fired)
-		if len(cbs) == 0 {
-			return // woke at least one proc; it owns the next advance
+		if len(cbs) > 0 {
+			// Callbacks count as runnable work so time holds still while
+			// they execute; run them here with the lock dropped. Wakes
+			// they trigger are parked behind the window's own, so every
+			// proc of the instant resumes before any kill victim or
+			// event waiter a callback released.
+			c.running += len(cbs)
+			c.mu.Unlock()
+			for _, fn := range cbs {
+				fn(t)
+			}
+			c.mu.Lock()
+			c.running -= len(cbs)
 		}
-		// Callbacks count as runnable work so time holds still while
-		// they execute; run them here with the lock dropped.
-		c.running += len(cbs)
-		c.mu.Unlock()
-		for _, fn := range cbs {
-			fn(t)
-		}
-		c.mu.Lock()
-		c.running -= len(cbs)
+		// Loop: the next iteration delivers the window's first parked
+		// wake (or evaluates the next instant after a callback-only
+		// batch that parked nothing).
 	}
 }
 

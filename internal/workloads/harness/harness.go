@@ -82,6 +82,11 @@ func NewEnv(ctx *core.RankCtx, eng *taskengine.Engine, raw *hdf5.File, opts Opti
 		Aggregate:    opts.AsyncAggregate,
 		Metrics:      ctx.Sys.Metrics,
 		InlineStages: opts.AsyncInlineStages,
+		// Under the sharded engine the rank's background stream lives on
+		// the rank's home shard (ClockFor is the system clock when
+		// serial), so stream wakeups and task churn stay on the shard's
+		// lock instead of serializing on one global clock.
+		Clock: ctx.Sys.ClockFor(ctx.Rank),
 	}
 	syncPL := opts.SyncPipeline
 	if in := ctx.Sys.Faults; in != nil {
