@@ -22,6 +22,7 @@ import (
 	"sort"
 	"time"
 
+	"asyncio/internal/cliflags"
 	"asyncio/internal/core"
 	"asyncio/internal/experiments"
 	"asyncio/internal/metrics"
@@ -35,15 +36,12 @@ func main() {
 		scale        = flag.String("scale", "reduced", "sweep scale: reduced or full")
 		list         = flag.Bool("list", false, "list experiment ids and exit")
 		timings      = flag.Bool("timings", false, "print wall-clock time per experiment")
-		traceJSON    = flag.String("trace-json", "", "write the last run's Chrome trace-event JSON (Perfetto) to this path")
-		metricsCSV   = flag.String("metrics", "", "write every run's metrics registry (labeled, concatenated CSV) to this path")
-		faultSpec    = flag.String("faults", "", "fault-injection spec applied to every run (see internal/faults)")
 		parallel     = flag.Int("parallel", 0, "workers for independent experiment points (0 = GOMAXPROCS, 1 = serial)")
-		shards       = flag.String("shards", "auto", "intra-run event-engine shards: auto, N, N:block, or N:stripe")
 		selfbench    = flag.Bool("selfbench", false, "benchmark the simulator itself and exit")
 		selfbenchOut = flag.String("selfbench-out", "BENCH_simulator.json", "where -selfbench writes its JSON report")
 		shardscale   = flag.Bool("shardscale", false, "run the abl-shard ablation (events/s vs shard count; wall-clock, so not in -list) and exit")
 	)
+	cf := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	// The simulator is allocation-heavy and latency-insensitive; a high
@@ -53,9 +51,20 @@ func main() {
 		debug.SetGCPercent(400)
 	}
 
-	if err := experiments.SetDefaultFaults(*faultSpec); err != nil {
+	if err := experiments.SetDefaultFaults(cf.Faults); err != nil {
 		fatalf("-faults: %v", err)
 	}
+	// Durability flags parameterize the crash experiments' write-back
+	// model; the per-run checkpoint/journal switches belong to
+	// asyncio-trace (crash sweeps schedule checkpoints themselves).
+	if cf.WantDurability() {
+		fatalf("-checkpoint-every/-journal configure a single run; use asyncio-trace (crash experiments sweep checkpoint intervals themselves)")
+	}
+	dur, derr := cf.DurabilityConfig()
+	if derr != nil {
+		fatalf("%v", derr)
+	}
+	experiments.SetDefaultDurability(&dur)
 	experiments.SetParallelism(*parallel)
 
 	// Selfbench pins shard counts per case (serial baselines vs explicit
@@ -118,8 +127,13 @@ func main() {
 	// still spreads its ranks across shards, and the exports are
 	// byte-identical at any shard count.
 	var reports []*core.Report
-	if *traceJSON != "" || *metricsCSV != "" {
-		metrics.SetSeriesDefault(true)
+	if cf.WantObservability() {
+		if cf.TraceJSON != "" || cf.MetricsCSV != "" {
+			metrics.SetSeriesDefault(true)
+		}
+		if cf.WantCritPath() {
+			experiments.SetCritPathProfiling(true)
+		}
 		core.SetRunObserver(func(rep *core.Report) { reports = append(reports, rep) })
 		defer core.SetRunObserver(nil)
 		experiments.SetParallelism(1)
@@ -128,7 +142,7 @@ func main() {
 	// Resolve -shards after the worker count settles: auto divides the
 	// machine between sweep workers and intra-run shards, so forcing
 	// serial sweeps (above) hands the whole core budget to each run.
-	nShards, err := experiments.ResolveShardSpec(*shards)
+	nShards, err := experiments.ResolveShardSpec(cf.Shards)
 	if err != nil {
 		fatalf("-shards: %v", err)
 	}
@@ -150,8 +164,8 @@ func main() {
 		}
 	}
 
-	if *metricsCSV != "" {
-		f, err := os.Create(*metricsCSV)
+	if cf.MetricsCSV != "" {
+		f, err := os.Create(cf.MetricsCSV)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -165,20 +179,28 @@ func main() {
 			fatalf("closing metrics CSV: %v", err)
 		}
 	}
-	if *traceJSON != "" {
+	if cf.TraceJSON != "" {
 		if len(reports) == 0 {
 			fatalf("-trace-json: no runs were observed")
 		}
 		last := reports[len(reports)-1]
-		f, err := os.Create(*traceJSON)
+		f, err := os.Create(cf.TraceJSON)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if err := perfetto.Write(f, last.Spans, last.Metrics); err != nil {
+		if err := perfetto.WriteProfile(f, last.Spans, last.Metrics, last.CritPath); err != nil {
 			fatalf("writing trace JSON: %v", err)
 		}
 		if err := f.Close(); err != nil {
 			fatalf("closing trace JSON: %v", err)
+		}
+	}
+	if cf.WantCritPath() {
+		if len(reports) == 0 {
+			fatalf("-critpath/-pprof: no runs were observed")
+		}
+		if err := cf.ExportProfile(reports[len(reports)-1].CritPath, os.Stdout); err != nil {
+			fatalf("-critpath/-pprof: %v", err)
 		}
 	}
 }

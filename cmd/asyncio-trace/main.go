@@ -5,7 +5,11 @@
 //
 // With -trace-json it additionally exports the run's span trees and
 // metric series as Chrome trace-event JSON (open in ui.perfetto.dev);
-// with -metrics it dumps the metrics registry as CSV. Both exports (and
+// with -metrics it dumps the metrics registry as CSV; with -critpath
+// and/or -pprof it records the run's causal wait-for graph and writes
+// the analyzed critical-path profile (JSON plus a summary table on
+// stderr, and a pprof protobuf for go tool pprof) — the Perfetto
+// export then carries a "critical path" overlay row. All exports (and
 // the CSV) survive an aborted run: a crash-injected run flushes its
 // partial report before exiting non-zero.
 //
@@ -32,10 +36,10 @@ import (
 	"runtime"
 	"time"
 
+	"asyncio/internal/cliflags"
 	"asyncio/internal/core"
-	"asyncio/internal/faults"
+	"asyncio/internal/critpath"
 	"asyncio/internal/perfetto"
-	"asyncio/internal/pfs"
 	"asyncio/internal/recovery"
 	"asyncio/internal/shard"
 	"asyncio/internal/systems"
@@ -51,22 +55,15 @@ import (
 
 func main() {
 	var (
-		workload   = flag.String("workload", "vpic", "vpic | bdcats | nyx | castro | eqsim")
-		system     = flag.String("system", "summit", "summit | cori")
-		nodes      = flag.Int("nodes", 16, "allocation size in nodes")
-		modeStr    = flag.String("mode", "adaptive", "sync | async | adaptive")
-		steps      = flag.Int("steps", 8, "epochs (checkpoints/time steps)")
-		compute    = flag.Duration("compute", 30*time.Second, "computation phase per epoch")
-		out        = flag.String("o", "", "output CSV path (default stdout)")
-		traceJSON  = flag.String("trace-json", "", "write Chrome trace-event JSON (Perfetto) to this path")
-		metricsCSV = flag.String("metrics", "", "write the metrics registry as CSV to this path")
-		faultSpec  = flag.String("faults", "", "fault-injection spec for the run (see internal/faults)")
-		ckptEvery  = flag.Int("checkpoint-every", 0, "durable checkpoint interval in epochs, 0 = off (vpic only)")
-		journal    = flag.Bool("journal", false, "journal asynchronous writes ahead of dispatch (vpic only)")
-		durability = flag.String("durability", "gpfs", "write-back durability semantics on crash: gpfs | lustre")
-		durSeed    = flag.Int64("durability-seed", 1, "seed for the crash tearing draws")
-		shards     = flag.String("shards", "auto", "intra-run event-engine shards: auto, N, N:block, or N:stripe")
+		workload = flag.String("workload", "vpic", "vpic | bdcats | nyx | castro | eqsim")
+		system   = flag.String("system", "summit", "summit | cori")
+		nodes    = flag.Int("nodes", 16, "allocation size in nodes")
+		modeStr  = flag.String("mode", "adaptive", "sync | async | adaptive")
+		steps    = flag.Int("steps", 8, "epochs (checkpoints/time steps)")
+		compute  = flag.Duration("compute", 30*time.Second, "computation phase per epoch")
+		out      = flag.String("o", "", "output CSV path (default stdout)")
 	)
+	cf := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	var mode core.Mode
@@ -81,17 +78,20 @@ func main() {
 		fatalf("unknown mode %q", *modeStr)
 	}
 	var sysOpts []systems.Option
-	if *faultSpec != "" {
-		in, err := faults.New(*faultSpec)
-		if err != nil {
-			fatalf("-faults: %v", err)
-		}
+	in, err := cf.Injector()
+	if err != nil {
+		fatalf("-faults: %v", err)
+	}
+	if in != nil {
 		sysOpts = append(sysOpts, systems.WithFaults(in))
+	}
+	if cf.WantCritPath() {
+		sysOpts = append(sysOpts, systems.WithCritPath(critpath.NewRecorder()))
 	}
 	// The run is this process's only work, so -shards auto takes the
 	// whole machine. Every output below is byte-identical at any shard
 	// count; sharding only changes how fast the simulation executes.
-	sp, sperr := shard.ParseSpec(*shards)
+	sp, sperr := shard.ParseSpec(cf.Shards)
 	if sperr != nil {
 		fatalf("-shards: %v", sperr)
 	}
@@ -112,7 +112,7 @@ func main() {
 	default:
 		fatalf("unknown system %q", *system)
 	}
-	if *traceJSON != "" || *metricsCSV != "" {
+	if cf.TraceJSON != "" || cf.MetricsCSV != "" {
 		sys.Metrics.EnableSeries()
 	}
 
@@ -121,33 +121,28 @@ func main() {
 	// journal on the asynchronous path.
 	var kit *harness.CrashKit
 	var ck *harness.Checkpointer
-	if *workload == "vpic" && (*ckptEvery > 0 || *journal) {
-		var dur pfs.DurabilityConfig
-		switch *durability {
-		case "gpfs":
-			dur = pfs.GPFSDurability(*durSeed)
-		case "lustre":
-			dur = pfs.LustreDurability(*durSeed, 8)
-		default:
-			fatalf("unknown durability %q (want gpfs or lustre)", *durability)
+	if *workload == "vpic" && cf.WantDurability() {
+		dur, derr := cf.DurabilityConfig()
+		if derr != nil {
+			fatalf("%v", derr)
 		}
-		kit = harness.NewCrashKit(dur, recovery.DefaultCost(), *journal)
-		ck = harness.NewCheckpointer(*ckptEvery, kit.Journal)
+		kit = harness.NewCrashKit(dur, recovery.DefaultCost(), cf.Journal)
+		ck = harness.NewCheckpointer(cf.CheckpointEvery, kit.Journal)
 		ck.Instrument(sys.Metrics)
 		kit.Journal.Instrument(sys.Metrics, *workload)
-	} else if *ckptEvery > 0 || *journal {
+		kit.SetCrit(sys.Crit)
+	} else if cf.WantDurability() {
 		fatalf("-checkpoint-every/-journal are only wired into the vpic workload")
 	}
 
 	var rep *core.Report
-	var err error
 	switch *workload {
 	case "vpic":
 		cfg := vpicio.Config{Steps: *steps, ComputeTime: *compute, Mode: mode}
 		if kit != nil {
 			cfg.Store = kit.Durable
 			cfg.Checkpoint = ck
-			if *journal {
+			if cf.Journal {
 				cfg.Env.AsyncInlineStages = kit.InlineStages()
 			}
 		}
@@ -185,20 +180,20 @@ func main() {
 	if err := trace.WriteCSV(w, rep.Run.Records); err != nil {
 		fatalf("writing CSV: %v", err)
 	}
-	if *traceJSON != "" {
-		f, err := os.Create(*traceJSON)
+	if cf.TraceJSON != "" {
+		f, err := os.Create(cf.TraceJSON)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if err := perfetto.Write(f, rep.Spans, rep.Metrics); err != nil {
+		if err := perfetto.WriteProfile(f, rep.Spans, rep.Metrics, rep.CritPath); err != nil {
 			fatalf("writing trace JSON: %v", err)
 		}
 		if err := f.Close(); err != nil {
 			fatalf("closing trace JSON: %v", err)
 		}
 	}
-	if *metricsCSV != "" {
-		f, err := os.Create(*metricsCSV)
+	if cf.MetricsCSV != "" {
+		f, err := os.Create(cf.MetricsCSV)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -209,6 +204,9 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatalf("closing metrics CSV: %v", err)
 		}
+	}
+	if err := cf.ExportProfile(rep.CritPath, os.Stderr); err != nil {
+		fatalf("-critpath/-pprof: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "%s on %s, %d nodes (%d ranks), %d epochs, mode=%s: total %v, peak %.2f GB/s\n",
 		*workload, sys.Name, sys.Nodes(), rep.Run.Ranks, len(rep.Run.Records), *modeStr,

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"asyncio/internal/critpath"
 	"asyncio/internal/hdf5"
 	"asyncio/internal/ioreq"
 	"asyncio/internal/metrics"
@@ -113,6 +114,10 @@ type Options struct {
 	// instead of the engine's. Nil keeps the engine clock (the serial
 	// default).
 	Clock *vclock.Clock
+	// Crit, when non-nil, records the connector's blocking intervals —
+	// backpressure, drain waits, staging copies, prefetch waits, and
+	// injected background stalls — as causal critical-path edges.
+	Crit *critpath.Recorder
 }
 
 // Connector is the asynchronous connector for one simulated process.
@@ -243,9 +248,14 @@ func (c *Connector) Drain(p *vclock.Proc) error {
 	if last == nil {
 		return nil
 	}
+	waitStart := procNow(p)
 	err := last.Wait(p)
 	c.mDrains.Add(1)
 	c.mDrainWait.Observe((procNow(p) - start).Seconds())
+	c.opts.Crit.Record(critpath.Edge{
+		Track: procName(p), Cause: critpath.QueueWait, Subsystem: "asyncvol",
+		Detail: "drain", Start: waitStart, End: procNow(p),
+	})
 	return err
 }
 
@@ -279,7 +289,12 @@ func (s stagingStage) Process(req *ioreq.Request, next func(*ioreq.Request) erro
 		req.Buf = append([]byte(nil), req.Buf...)
 	}
 	if c.opts.Copy != nil {
+		copyStart := procNow(req.Proc)
 		c.opts.Copy.Copy(req.Proc, n)
+		c.opts.Crit.Record(critpath.Edge{
+			Track: procName(req.Proc), Cause: critpath.StageCopy, Subsystem: "asyncvol",
+			Detail: "stage-copy", Start: copyStart, End: procNow(req.Proc), Bytes: n,
+		})
 	}
 	c.mStagedBytes.Add(n)
 	c.recordStaged(req, n)
@@ -478,7 +493,12 @@ func (c *Connector) push(p *vclock.Proc, name string, fn func(p *vclock.Proc) er
 	run := func(p *vclock.Proc) error {
 		if fm := c.opts.Faults; fm != nil {
 			if d := fm.BackgroundStall(p.Now()); d > 0 {
+				stallStart := p.Now()
 				p.Sleep(d)
+				c.opts.Crit.Record(critpath.Edge{
+					Track: p.Name(), Cause: critpath.FaultStall, Subsystem: "asyncvol",
+					Detail: "bg-stall", Start: stallStart, End: p.Now(),
+				})
 			}
 		}
 		err := inner(p)
@@ -513,6 +533,10 @@ func (c *Connector) waitForRoom(p *vclock.Proc) {
 			c.mu.Unlock()
 			if stalled {
 				c.mStallWait.Observe((procNow(p) - start).Seconds())
+				c.opts.Crit.Record(critpath.Edge{
+					Track: procName(p), Cause: critpath.QueueWait, Subsystem: "asyncvol",
+					Detail: "backpressure", Start: start, End: procNow(p),
+				})
 			}
 			return
 		}
@@ -797,9 +821,14 @@ func (ad *asyncDataset) ReadDiscard(pr vol.Props, fspace *hdf5.Dataspace) error 
 	if !ok {
 		return c.exec.Do(ad.request(ioreq.OpReadNull, pr, fspace, nil))
 	}
+	waitStart := procNow(pr.Proc)
 	if err := entry.task.Wait(pr.Proc); err != nil {
 		return err
 	}
+	c.opts.Crit.Record(critpath.Edge{
+		Track: procName(pr.Proc), Cause: critpath.QueueWait, Subsystem: "asyncvol",
+		Detail: "prefetch", Start: waitStart, End: procNow(pr.Proc),
+	})
 	if c.opts.Copy != nil {
 		c.opts.Copy.Copy(pr.Proc, nbytes)
 	}
@@ -823,9 +852,14 @@ func (ad *asyncDataset) Read(pr vol.Props, fspace *hdf5.Dataspace, buf []byte) e
 	if !ok {
 		return c.exec.Do(ad.request(ioreq.OpRead, pr, fspace, buf))
 	}
+	waitStart := procNow(pr.Proc)
 	if err := entry.task.Wait(pr.Proc); err != nil {
 		return err
 	}
+	c.opts.Crit.Record(critpath.Edge{
+		Track: procName(pr.Proc), Cause: critpath.QueueWait, Subsystem: "asyncvol",
+		Detail: "prefetch", Start: waitStart, End: procNow(pr.Proc),
+	})
 	if c.opts.Copy != nil {
 		c.opts.Copy.Copy(pr.Proc, int64(len(buf)))
 	}
@@ -906,10 +940,22 @@ func (ad *asyncDataset) Unwrap() *hdf5.Dataset { return ad.raw }
 type EventSet struct {
 	mu    sync.Mutex
 	tasks []*taskengine.Task
+	crit  *critpath.Recorder
 }
 
 // NewEventSet returns an empty event set.
 func NewEventSet() *EventSet { return &EventSet{} }
+
+// SetCrit attaches the critical-path recorder; Wait records its
+// blocking interval as a queue-wait edge. Call before the run.
+func (es *EventSet) SetCrit(rec *critpath.Recorder) {
+	if es == nil {
+		return
+	}
+	es.mu.Lock()
+	es.crit = rec
+	es.mu.Unlock()
+}
 
 func (es *EventSet) add(t *taskengine.Task) {
 	es.mu.Lock()
@@ -923,12 +969,20 @@ func (es *EventSet) Wait(p *vclock.Proc) error {
 	es.mu.Lock()
 	tasks := es.tasks
 	es.tasks = nil
+	rec := es.crit
 	es.mu.Unlock()
+	start := procNow(p)
 	var first error
 	for _, t := range tasks {
 		if err := t.Wait(p); err != nil && first == nil {
 			first = err
 		}
+	}
+	if len(tasks) > 0 {
+		rec.Record(critpath.Edge{
+			Track: procName(p), Cause: critpath.QueueWait, Subsystem: "asyncvol",
+			Detail: "eventset", Start: start, End: procNow(p),
+		})
 	}
 	return first
 }

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"asyncio/internal/critpath"
 	"asyncio/internal/faults"
 	"asyncio/internal/metrics"
 	"asyncio/internal/model"
@@ -198,6 +199,9 @@ type Report struct {
 	Spans []*trace.Span
 	// Metrics is the system registry the run recorded into.
 	Metrics *metrics.Registry
+	// CritPath is the run's causal critical-path profile (nil when the
+	// system was built without WithCritPath).
+	CritPath *critpath.Profile
 	// ModeSwitches lists graceful-degradation demotions/promotions in
 	// order (empty when the policy is off or never tripped).
 	ModeSwitches []ModeSwitch
@@ -303,6 +307,7 @@ func Run(sys *systems.System, cfg Config, hooks Hooks) (*Report, error) {
 	}
 	costs := mpi.DefaultCosts()
 	costs.Metrics = sys.Metrics
+	costs.Crit = sys.Crit
 	// Sharded systems spawn each rank on its home shard's clock; the
 	// world's rendezvous events live on shard 0 and wake cross-shard.
 	world := mpi.RunOn(sys.RankClocks(ranks), ranks, costs, func(c *mpi.Comm) {
@@ -319,6 +324,14 @@ func Run(sys *systems.System, cfg Config, hooks Hooks) (*Report, error) {
 	err := world.Err()
 	if err == nil {
 		err = werr
+	}
+	if sys.Crit != nil {
+		// The profile label is a pure function of the run configuration,
+		// never of the execution (shard count, workers), so the exported
+		// profile bytes stay comparable across engines.
+		sys.Crit.SetMakespan(sys.Clk.Now())
+		rep.CritPath = sys.Crit.Profile(fmt.Sprintf("%s/%s/%s ranks=%d",
+			sys.Name, cfg.Workload, rep.Run.Mode, ranks))
 	}
 	if err != nil {
 		// Flush what the run measured before it died: the epochs already
@@ -500,6 +513,9 @@ func runRank(c *mpi.Comm, sys *systems.System, cfg Config, hooks Hooks, ctl *con
 	}
 	c.Barrier()
 	initTime := p.Now() - initStart
+	if c.Rank() == 0 {
+		sys.Crit.MarkInit(p.Now())
+	}
 
 	var lastBytes int64 = -1
 	for iter := 0; iter < cfg.Iterations; iter++ {
@@ -524,6 +540,10 @@ func runRank(c *mpi.Comm, sys *systems.System, cfg Config, hooks Hooks, ctl *con
 			}
 		}
 		compTime := p.Now() - compStart
+		sys.Crit.Record(critpath.Edge{
+			Track: p.Name(), Cause: critpath.Compute, Subsystem: "core",
+			Detail: "compute", Start: compStart, End: p.Now(),
+		})
 
 		// I/O phase, bracketed by barriers so rank 0's elapsed time is
 		// the max across ranks — parallel I/O finishes when the slowest
@@ -549,6 +569,7 @@ func runRank(c *mpi.Comm, sys *systems.System, cfg Config, hooks Hooks, ctl *con
 
 		if c.Rank() == 0 {
 			rec := recordEpoch(ctl, rep, iter, mode, c.Size(), totalBytes, ioTime, maxComp, est, estOK)
+			sys.Crit.MarkEpoch(iter, p.Now())
 			ctl.checkHealth(ctx, iter, rec, est, estOK, rep)
 			if hooks.Observe != nil {
 				hooks.Observe(ctx, iter, rec)

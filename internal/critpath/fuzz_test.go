@@ -1,0 +1,41 @@
+package critpath
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCritpathJSON fuzzes the profile JSON decoder: any input that
+// parses must re-marshal deterministically and round-trip to identical
+// bytes (marshal ∘ parse is idempotent). This is the property the
+// -critpath artifact comparison in CI relies on.
+func FuzzCritpathJSON(f *testing.F) {
+	if seed, err := sampleProfile().MarshalBytes(); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"schema_version":1,"makespan_seconds":1,"coverage":1}`))
+	f.Add([]byte(`{"schema_version":1,"label":"x","categories":[{"cause":"compute","seconds":1,"share":1}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"schema_version":99}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParseProfile(data)
+		if err != nil {
+			return // invalid inputs must only error, never panic
+		}
+		b1, err := p.MarshalBytes()
+		if err != nil {
+			t.Fatalf("marshal of parsed profile failed: %v", err)
+		}
+		q, err := ParseProfile(b1)
+		if err != nil {
+			t.Fatalf("re-parse of marshaled profile failed: %v\n%s", err, b1)
+		}
+		b2, err := q.MarshalBytes()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("marshal/parse round trip not idempotent:\n%s\nvs\n%s", b1, b2)
+		}
+	})
+}

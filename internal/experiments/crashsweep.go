@@ -91,6 +91,9 @@ func CrashTrial(cfg CrashTrialConfig) (*CrashTrialResult, error) {
 		cfg.ComputeTime = time.Second
 	}
 	dur := pfs.GPFSDurability(1)
+	if defaultDurability != nil {
+		dur = *defaultDurability
+	}
 	if cfg.Durability != nil {
 		dur = *cfg.Durability
 	}
@@ -102,9 +105,11 @@ func CrashTrial(cfg CrashTrialConfig) (*CrashTrialResult, error) {
 		return nil, err
 	}
 	clk, shardOpts := newClock(cfg.Shards)
-	sys := systems.Summit(clk, cfg.Nodes, append(shardOpts, systems.WithFaults(in))...)
+	opts := append(append(shardOpts, critOpts()...), systems.WithFaults(in))
+	sys := systems.Summit(clk, cfg.Nodes, opts...)
 	ck.Instrument(sys.Metrics)
 	kit.Journal.Instrument(sys.Metrics, "vpic")
+	kit.SetCrit(sys.Crit)
 
 	res := &CrashTrialResult{LastDurable: -1, Store: kit.Base, Journal: kit.Journal}
 	rep, _, err := vpicio.Run(sys, vpicio.Config{

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"asyncio/internal/critpath"
+	"asyncio/internal/pfs"
+	"asyncio/internal/systems"
+)
+
+// defaultCritPath, when true, attaches a fresh critical-path recorder
+// to every system the experiment generators construct, so each run's
+// report carries an analyzed profile. cmd/asyncio-bench wires its
+// -critpath/-pprof flags here.
+var defaultCritPath bool
+
+// SetCritPathProfiling toggles critical-path recording on every system
+// the experiment generators construct.
+func SetCritPathProfiling(on bool) { defaultCritPath = on }
+
+// critOpts returns the extra system options critical-path profiling
+// requires (none when it is off). Each call hands out a fresh recorder:
+// a recorder serves exactly one run.
+func critOpts() []systems.Option {
+	if !defaultCritPath {
+		return nil
+	}
+	return []systems.Option{systems.WithCritPath(critpath.NewRecorder())}
+}
+
+// defaultDurability, when non-nil, replaces the stock GPFS write-back
+// model on crash trials whose config does not pin one.
+// cmd/asyncio-bench wires its -durability/-durability-seed flags here.
+var defaultDurability *pfs.DurabilityConfig
+
+// SetDefaultDurability overrides the durability model crash trials use
+// when their config leaves Durability nil; nil restores the built-in
+// default (GPFS semantics, seed 1).
+func SetDefaultDurability(cfg *pfs.DurabilityConfig) { defaultDurability = cfg }

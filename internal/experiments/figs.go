@@ -36,6 +36,7 @@ func Registry() map[string]Generator {
 		"abl-staging":  AblationStaging,
 		"abl-bb":       AblationBurstBuffer,
 		"abl-agg":      AblationAggregation,
+		"abl-blame":    AblationBlame,
 	}
 	for id := range sweepSpecs() {
 		id := id
@@ -45,10 +46,11 @@ func Registry() map[string]Generator {
 }
 
 // newSystem builds a fresh clock+system for one run, attaching the
-// process-wide default fault schedule when one is installed.
+// process-wide default fault schedule and critical-path profiling when
+// they are installed.
 func newSystem(name string, nodes int, opts ...systems.Option) *systems.System {
 	clk, shardOpts := newClock(Shards())
-	opts = append(append(faultOpts(), shardOpts...), opts...)
+	opts = append(append(append(faultOpts(), critOpts()...), shardOpts...), opts...)
 	if name == "summit" {
 		return systems.Summit(clk, nodes, opts...)
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"asyncio/internal/critpath"
 	"asyncio/internal/ioreq"
 	"asyncio/internal/metrics"
 	"asyncio/internal/pfs"
@@ -107,6 +108,32 @@ type Injector struct {
 	mMetaStalls  *metrics.Counter
 	mBGStalls    *metrics.Counter
 	mStagingFull *metrics.Counter
+
+	crit *critpath.Recorder
+}
+
+// SetCrit attaches the critical-path recorder: injected stalls record
+// fault-stall edges, retry backoffs record retry-backoff edges (via
+// RetryPolicy), and every scheduled fault window of the spec is marked
+// on the profile so its blame breakdown is reported separately. Call
+// once, before the run starts.
+func (in *Injector) SetCrit(rec *critpath.Recorder) {
+	in.crit = rec
+	if rec == nil {
+		return
+	}
+	for _, o := range in.spec.Outages {
+		rec.MarkWindow("outage:"+o.Target, o.Start, o.Start+o.Dur)
+	}
+	for _, s := range in.spec.Slowdowns {
+		rec.MarkWindow("slow:"+s.Target, s.Window.Start, s.Window.End)
+	}
+	for _, ms := range in.spec.MetaStalls {
+		rec.MarkWindow("meta:"+ms.Target, ms.Window.Start, ms.Window.End)
+	}
+	for _, b := range in.spec.BGStalls {
+		rec.MarkWindow("bgstall", b.Start, b.Start+b.Dur)
+	}
 }
 
 type opKey struct {
@@ -239,7 +266,12 @@ func (in *Injector) BeforeMeta(p *vclock.Proc, target string) {
 	}
 	if extra > 0 {
 		in.mMetaStalls.Add(1)
+		start := p.Now()
 		p.Sleep(extra)
+		in.crit.Record(critpath.Edge{
+			Track: p.Name(), Cause: critpath.FaultStall, Subsystem: "faults",
+			Detail: "meta-stall", Start: start, End: p.Now(),
+		})
 	}
 }
 
@@ -277,6 +309,7 @@ func (in *Injector) RetryPolicy() ioreq.RetryPolicy {
 		Backoff:     r.Backoff,
 		MaxBackoff:  r.MaxBackoff,
 		Deadline:    r.Deadline,
+		Crit:        in.crit,
 		Retryable: func(err error) bool {
 			var fe *Error
 			return errors.As(err, &fe) && fe.Kind != KindRetryExhausted

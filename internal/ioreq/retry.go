@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"asyncio/internal/critpath"
 	"asyncio/internal/vclock"
 )
 
@@ -33,6 +34,9 @@ type RetryPolicy struct {
 	// Exhausted, when non-nil, maps the final error once attempts or the
 	// deadline run out; the default wraps it with attempt context.
 	Exhausted func(req *Request, attempts int, err error) error
+	// Crit, when non-nil, records every backoff sleep as a retry-backoff
+	// critical-path edge.
+	Crit *critpath.Recorder
 }
 
 // RetryStage retries failed downstream dispatches under a RetryPolicy.
@@ -70,7 +74,12 @@ func (s *RetryStage) Process(req *Request, next func(*Request) error) error {
 			s.pol.OnRetry(req, attempt, err)
 		}
 		if req.Proc != nil && backoff > 0 {
+			sleepStart := req.Proc.Now()
 			req.Proc.Sleep(backoff)
+			s.pol.Crit.Record(critpath.Edge{
+				Track: req.Proc.Name(), Cause: critpath.RetryBackoff, Subsystem: "ioreq",
+				Detail: "backoff", Start: sleepStart, End: req.Proc.Now(),
+			})
 		}
 		backoff *= 2
 		if s.pol.MaxBackoff > 0 && backoff > s.pol.MaxBackoff {

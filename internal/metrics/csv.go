@@ -9,8 +9,10 @@ import (
 // WriteCSV renders the registry deterministically: header, then metrics
 // sorted by name. Counters and gauges emit one "sample" row per series
 // change point followed by a "final" row with the end-of-run value;
-// histograms emit their summary statistics. label tags every row so
-// CSVs from several runs can be concatenated (cmd/asyncio-bench does
+// gauges add a time-weighted summary ("tw_mean", "tw_max" over the full
+// run, maintained even when series recording is off); histograms emit
+// their summary statistics including p50/p95/p99. label tags every row
+// so CSVs from several runs can be concatenated (cmd/asyncio-bench does
 // this per experiment point).
 //
 // Schema: label,metric,kind,stat,at_seconds,value
@@ -50,6 +52,13 @@ func (r *Registry) WriteCSV(w io.Writer, label string) error {
 				}
 			}
 			if err := row(name, KindGauge, "final", final, g.Value()); err != nil {
+				return err
+			}
+			mean, max := g.TimeWeightedStats(r.now())
+			if err := row(name, KindGauge, "tw_mean", final, mean); err != nil {
+				return err
+			}
+			if err := row(name, KindGauge, "tw_max", final, max); err != nil {
 				return err
 			}
 		case h != nil:

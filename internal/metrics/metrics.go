@@ -132,6 +132,10 @@ func (r *Registry) now() time.Duration {
 	return r.clk.Now()
 }
 
+// Now exposes the registry's virtual time to exporters that need an
+// end-of-run timestamp (0 for a nil registry).
+func (r *Registry) Now() time.Duration { return r.now() }
+
 // Counter returns (creating if needed) the named monotonically
 // increasing counter. Nil registry returns nil — a no-op instrument.
 func (r *Registry) Counter(name string) *Counter {
@@ -312,6 +316,15 @@ type Gauge struct {
 	v        float64
 	ser      series
 	onChange func(at time.Duration, v float64)
+
+	// Time-weighted accumulators, maintained on every update regardless
+	// of series recording. area integrates the step function up to
+	// lastAt; maxHeld tracks the largest value that persisted for a
+	// nonzero interval (same-instant intermediates are never observed,
+	// keeping concurrent same-instant Adds order-independent).
+	area    float64
+	lastAt  time.Duration
+	maxHeld float64
 }
 
 // Name returns the gauge's registered name ("" for nil).
@@ -357,6 +370,13 @@ func (g *Gauge) update(f func(float64) float64) {
 	at := g.reg.now()
 	recording := g.reg.SeriesEnabled()
 	g.mu.Lock()
+	if at > g.lastAt {
+		g.area += g.v * (at - g.lastAt).Seconds()
+		if g.v > g.maxHeld {
+			g.maxHeld = g.v
+		}
+		g.lastAt = at
+	}
 	g.v = f(g.v)
 	if recording {
 		g.ser.record(at, g.v)
@@ -380,6 +400,33 @@ func (g *Gauge) Value() float64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.v
+}
+
+// TimeWeightedStats summarizes the gauge's step function over [0, end]:
+// the time-weighted mean, and the maximum value the gauge held for a
+// nonzero interval (including the current value, which holds through
+// end). end at or before the last update extends the horizon to the
+// last update instead, and a zero horizon returns the current value as
+// its own mean.
+func (g *Gauge) TimeWeightedStats(end time.Duration) (mean, max float64) {
+	if g == nil {
+		return 0, 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	max = g.maxHeld
+	if g.v > max {
+		max = g.v
+	}
+	area, horizon := g.area, g.lastAt
+	if end > horizon {
+		area += g.v * (end - horizon).Seconds()
+		horizon = end
+	}
+	if horizon <= 0 {
+		return g.v, max
+	}
+	return area / horizon.Seconds(), max
 }
 
 // Series returns a copy of the recorded change points.

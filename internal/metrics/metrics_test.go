@@ -267,6 +267,8 @@ func TestWriteCSVDeterministicAndSorted(t *testing.T) {
 		"lbl,a.depth,gauge,sample,0,3\n" +
 		"lbl,a.depth,gauge,sample,0.5,0\n" +
 		"lbl,a.depth,gauge,final,1.5,0\n" +
+		"lbl,a.depth,gauge,tw_mean,1.5,1\n" +
+		"lbl,a.depth,gauge,tw_max,1.5,3\n" +
 		"lbl,m.wait,histogram,count,1.5,2\n" +
 		"lbl,m.wait,histogram,min,1.5,0.25\n" +
 		"lbl,m.wait,histogram,max,1.5,0.75\n" +
@@ -290,5 +292,48 @@ func TestWriteCSVNilRegistry(t *testing.T) {
 	}
 	if buf.String() != "label,metric,kind,stat,at_seconds,value\n" {
 		t.Fatalf("nil registry CSV = %q", buf.String())
+	}
+}
+
+func TestGaugeTimeWeightedStats(t *testing.T) {
+	clk := vclock.New()
+	r := NewRegistry(clk) // series recording off: stats must still work
+	g := r.Gauge("depth")
+	clk.Go("p", func(p *vclock.Proc) {
+		g.Add(4)
+		p.Sleep(time.Second)
+		g.Add(6) // 10 held for 1s
+		p.Sleep(time.Second)
+		g.Add(-10) // back to 0
+		p.Sleep(2 * time.Second)
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	mean, max := g.TimeWeightedStats(clk.Now())
+	if want := (4.0 + 10.0) / 4.0; mean != want {
+		t.Errorf("tw mean = %v, want %v", mean, want)
+	}
+	if max != 10 {
+		t.Errorf("tw max = %v, want 10", max)
+	}
+	// Same-instant intermediates must not leak into the max.
+	clk2 := vclock.New()
+	g2 := NewRegistry(clk2).Gauge("spiky")
+	clk2.Go("p", func(p *vclock.Proc) {
+		g2.Add(100)
+		g2.Add(-99) // net 1 at instant 0; 100 never persisted
+		p.Sleep(time.Second)
+	})
+	if err := clk2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, max := g2.TimeWeightedStats(clk2.Now()); max != 1 {
+		t.Errorf("same-instant max = %v, want 1", max)
+	}
+	// Nil gauge and zero horizon are safe.
+	var nilG *Gauge
+	if m, mx := nilG.TimeWeightedStats(time.Second); m != 0 || mx != 0 {
+		t.Errorf("nil gauge stats = %v, %v", m, mx)
 	}
 }

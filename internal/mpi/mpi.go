@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"asyncio/internal/critpath"
 	"asyncio/internal/metrics"
 	"asyncio/internal/vclock"
 )
@@ -35,6 +36,13 @@ type Costs struct {
 	// "mpi.collectives" counts rank-entries. Sub-communicators from
 	// Split inherit the registry.
 	Metrics *metrics.Registry
+	// Crit, when non-nil, records every collective rendezvous and
+	// point-to-point receive wait as a causal edge. Root-world
+	// collectives carry a global sequence detail ("coll:%08d") that the
+	// critical-path analysis uses as segment boundaries; Split
+	// sub-communicators record plain "collective" edges (their sequence
+	// is not a global sync point). Inherited by Split.
+	Crit *critpath.Recorder
 }
 
 // DefaultCosts are small but nonzero, so collectives are visible in
@@ -52,6 +60,7 @@ type World struct {
 	clk     *vclock.Clock
 	size    int
 	costs   Costs
+	segRoot bool // root world: its collective sequence bounds critical-path segments
 	colls   map[int64]*collSlot
 	boxes   map[msgKey]*mailbox
 	subs    map[subKey]*World
@@ -129,12 +138,13 @@ func RunOn(clks []*vclock.Clock, size int, costs Costs, fn func(c *Comm)) *World
 		panic(fmt.Sprintf("mpi: RunOn with %d clocks for %d ranks", len(clks), size))
 	}
 	w := &World{
-		clk:   clks[0],
-		size:  size,
-		costs: costs,
-		colls: make(map[int64]*collSlot),
-		boxes: make(map[msgKey]*mailbox),
-		procs: make([]*vclock.Proc, size),
+		clk:     clks[0],
+		size:    size,
+		costs:   costs,
+		segRoot: true,
+		colls:   make(map[int64]*collSlot),
+		boxes:   make(map[msgKey]*mailbox),
+		procs:   make([]*vclock.Proc, size),
 	}
 	// Holding any one shard pins global virtual time, so the spawn loop
 	// cannot race the first ranks into a false deadlock.
@@ -313,7 +323,7 @@ func collective[R any](c *Comm, contrib any, compute func(data []any) R) R {
 	}
 	slot, ok := w.colls[key]
 	if !ok {
-		slot = &collSlot{data: make([]any, w.size), ev: vclock.NewEvent(w.clk)}
+		slot = &collSlot{data: make([]any, w.size), ev: vclock.NewEventNamed(w.clk, "mpi:collective")}
 		w.colls[key] = slot
 	}
 	slot.data[c.rank] = contrib
@@ -334,6 +344,17 @@ func collective[R any](c *Comm, contrib any, compute func(data []any) R) R {
 	if m := w.costs.Metrics; m != nil {
 		m.Counter("mpi.collectives").Add(1)
 		m.Histogram("mpi.collective_wait_seconds").Observe((c.p.Now() - enter).Seconds())
+	}
+	if w.costs.Crit != nil {
+		detail := "collective"
+		if w.segRoot {
+			// Zero-padded so lexicographic order equals sequence order.
+			detail = fmt.Sprintf("coll:%08d", key)
+		}
+		w.costs.Crit.Record(critpath.Edge{
+			Track: c.p.Name(), Cause: critpath.CollectiveWait, Subsystem: "mpi",
+			Detail: detail, Start: enter, End: c.p.Now(),
+		})
 	}
 	c.p.Sleep(w.collLatency())
 	return slot.result.(R)
@@ -459,11 +480,16 @@ func Recv[T any](c *Comm, src, tag int) T {
 		mb.queue = mb.queue[1:]
 		w.mu.Unlock()
 	} else {
-		wt := &recvWaiter{ev: vclock.NewEvent(w.clk)}
+		wt := &recvWaiter{ev: vclock.NewEventNamed(w.clk, "mpi:recv")}
 		mb.waiters = append(mb.waiters, wt)
 		w.mu.Unlock()
+		enter := c.p.Now()
 		wt.ev.Wait(c.p)
 		w.checkAborted()
+		w.costs.Crit.Record(critpath.Edge{
+			Track: c.p.Name(), Cause: critpath.QueueWait, Subsystem: "mpi",
+			Detail: "recv", Start: enter, End: c.p.Now(),
+		})
 		msg = wt.msg
 	}
 	c.p.Sleep(w.costs.PointToPointLatency)

@@ -11,6 +11,11 @@
 //	pid 4  pfs targets         storage-side copies of pfs:* transfer
 //	                           events, one row per target
 //	pid 5  metrics             counter tracks from the registry's series
+//	                           plus one quantile track (p50/p95/p99)
+//	                           per histogram
+//	pid 6  critical path       overlay marking the run's on-critical-
+//	                           path segments, one slice per segment
+//	                           named by its dominant blame category
 //
 // Span events carry a Track (the vclock process that recorded them);
 // events without one are attributed to their root span's name, which
@@ -26,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"asyncio/internal/critpath"
 	"asyncio/internal/metrics"
 	"asyncio/internal/trace"
 )
@@ -37,14 +43,16 @@ const (
 	pidOther
 	pidPFS
 	pidMetrics
+	pidCritPath
 )
 
 var pidNames = map[int]string{
-	pidRanks:   "ranks",
-	pidStreams: "background streams",
-	pidOther:   "other",
-	pidPFS:     "pfs targets",
-	pidMetrics: "metrics",
+	pidRanks:    "ranks",
+	pidStreams:  "background streams",
+	pidOther:    "other",
+	pidPFS:      "pfs targets",
+	pidMetrics:  "metrics",
+	pidCritPath: "critical path",
 }
 
 // event is one trace-event object. Field order here fixes the JSON
@@ -117,10 +125,64 @@ func flatten(sp *trace.Span, root string, out *[]flatEvent) {
 	}
 }
 
+// counterTrack is one metrics counter row: a named series of samples.
+type counterTrack struct {
+	name    string
+	samples []metrics.Sample
+}
+
+// counterTracks collects the registry's counter rows: counter and
+// gauge change-point series (when series recording is on) plus one
+// single-sample quantile track per histogram percentile, stamped at
+// the registry's end-of-run time. Order follows reg.Names(), so the
+// tid assignment is deterministic.
+func counterTracks(reg *metrics.Registry) []counterTrack {
+	if reg == nil {
+		return nil
+	}
+	var tracks []counterTrack
+	series := reg.SeriesEnabled()
+	final := reg.Now()
+	for _, name := range reg.Names() {
+		if c := reg.FindCounter(name); c != nil {
+			if s := c.Series(); series && len(s) > 0 {
+				tracks = append(tracks, counterTrack{name, s})
+			}
+		} else if g := reg.FindGauge(name); g != nil {
+			if s := g.Series(); series && len(s) > 0 {
+				tracks = append(tracks, counterTrack{name, s})
+			}
+		} else if h := reg.FindHistogram(name); h != nil {
+			snap := h.Snapshot()
+			if snap.Count == 0 {
+				continue
+			}
+			for _, q := range []struct {
+				suffix string
+				v      float64
+			}{{".p50", snap.P50}, {".p95", snap.P95}, {".p99", snap.P99}} {
+				tracks = append(tracks, counterTrack{
+					name + q.suffix,
+					[]metrics.Sample{{At: final, V: q.v}},
+				})
+			}
+		}
+	}
+	return tracks
+}
+
 // Write renders spans and the registry's counter/gauge series as a
 // trace-event JSON document. Either argument may be nil/empty; the
 // output is always a valid document.
 func Write(w io.Writer, spans []*trace.Span, reg *metrics.Registry) error {
+	return WriteProfile(w, spans, reg, nil)
+}
+
+// WriteProfile is Write plus an optional critical-path overlay: each
+// profile segment becomes a slice on the "critical path" process row,
+// named by the segment's dominant blame category and tagged with the
+// rank/stream that carried the path through it.
+func WriteProfile(w io.Writer, spans []*trace.Span, reg *metrics.Registry, prof *critpath.Profile) error {
 	var flat []flatEvent
 	for _, sp := range spans {
 		flatten(sp, sp.Name(), &flat)
@@ -156,6 +218,8 @@ func Write(w io.Writer, spans []*trace.Span, reg *metrics.Registry) error {
 		tids[pid] = m
 	}
 
+	ctracks := counterTracks(reg)
+
 	var events []event
 	meta := func(pid, tid int, kind, name string) {
 		events = append(events, event{
@@ -163,14 +227,26 @@ func Write(w io.Writer, spans []*trace.Span, reg *metrics.Registry) error {
 			Args: map[string]any{"name": name},
 		})
 	}
-	for pid := pidRanks; pid <= pidMetrics; pid++ {
-		if len(tids[pid]) == 0 && pid != pidMetrics {
-			continue
-		}
-		if pid == pidMetrics && (reg == nil || !reg.SeriesEnabled()) {
-			continue
+	for pid := pidRanks; pid <= pidCritPath; pid++ {
+		switch pid {
+		case pidMetrics:
+			if len(ctracks) == 0 {
+				continue
+			}
+		case pidCritPath:
+			if prof == nil || len(prof.Segments) == 0 {
+				continue
+			}
+		default:
+			if len(tids[pid]) == 0 {
+				continue
+			}
 		}
 		meta(pid, 0, "process_name", pidNames[pid])
+		if pid == pidCritPath {
+			meta(pid, 1, "thread_name", "segments")
+			continue
+		}
 		names := make([]string, 0, len(tids[pid]))
 		for n := range tids[pid] {
 			names = append(names, n)
@@ -207,29 +283,32 @@ func Write(w io.Writer, spans []*trace.Span, reg *metrics.Registry) error {
 		}
 	}
 
-	if reg != nil && reg.SeriesEnabled() {
-		counterTid := 0
-		for _, name := range reg.Names() {
-			var samples []metrics.Sample
-			if c := reg.FindCounter(name); c != nil {
-				samples = c.Series()
-			} else if g := reg.FindGauge(name); g != nil {
-				samples = g.Series()
-			}
-			if len(samples) == 0 {
-				continue
-			}
-			counterTid++
-			for _, s := range samples {
-				events = append(events, event{
-					Name: name,
-					Ph:   "C",
-					Ts:   usec(s.At),
-					Pid:  pidMetrics,
-					Tid:  counterTid,
-					Args: map[string]any{"value": s.V},
-				})
-			}
+	for i, ct := range ctracks {
+		for _, s := range ct.samples {
+			events = append(events, event{
+				Name: ct.name,
+				Ph:   "C",
+				Ts:   usec(s.At),
+				Pid:  pidMetrics,
+				Tid:  i + 1,
+				Args: map[string]any{"value": s.V},
+			})
+		}
+	}
+
+	if prof != nil {
+		for _, seg := range prof.Segments {
+			dur := (seg.EndSeconds - seg.StartSeconds) * 1e6
+			events = append(events, event{
+				Name: string(seg.TopCause),
+				Ph:   "X",
+				Ts:   seg.StartSeconds * 1e6,
+				Dur:  &dur,
+				Pid:  pidCritPath,
+				Tid:  1,
+				Cat:  "critpath",
+				Args: map[string]any{"track": seg.Track},
+			})
 		}
 	}
 
@@ -240,7 +319,10 @@ func Write(w io.Writer, spans []*trace.Span, reg *metrics.Registry) error {
 }
 
 // sortEvents orders the document deterministically: metadata first,
-// then by (pid, tid, ts, name).
+// then by (pid, tid, ts, name). Metadata records additionally
+// tie-break on their args name, so two records that agree on every
+// outer field (e.g. duplicate thread_name rows) still have a total
+// order and goldens never depend on emission order.
 func sortEvents(events []event) {
 	sort.SliceStable(events, func(i, j int) bool {
 		a, b := events[i], events[j]
@@ -257,8 +339,22 @@ func sortEvents(events []event) {
 		if a.Ts != b.Ts {
 			return a.Ts < b.Ts
 		}
-		return a.Name < b.Name
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if am {
+			return metaArgName(a) < metaArgName(b)
+		}
+		return false
 	})
+}
+
+// metaArgName extracts a metadata record's args.name for sorting.
+func metaArgName(e event) string {
+	if s, ok := e.Args["name"].(string); ok {
+		return s
+	}
+	return ""
 }
 
 // trackOrder sorts track names with numeric suffix awareness, so rank10

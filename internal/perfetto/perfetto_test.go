@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
+	"asyncio/internal/critpath"
 	"asyncio/internal/metrics"
 	"asyncio/internal/trace"
 	"asyncio/internal/vclock"
@@ -49,7 +52,8 @@ func twoRankFixture(t *testing.T) ([]*trace.Span, *metrics.Registry) {
 	if err := clk.Wait(); err != nil {
 		t.Fatal(err)
 	}
-	// Histograms have no series and must not produce counter tracks.
+	// Histograms have no change-point series; they surface as one
+	// single-sample quantile track per percentile.
 	reg.Histogram("asyncvol.drain_wait_seconds").Observe(0.015)
 	return spans, reg
 }
@@ -161,10 +165,84 @@ func TestTrackLayout(t *testing.T) {
 	if streamCopies != 2 || pfsCopies != 2 {
 		t.Fatalf("pfs write copies: stream=%d pfs=%d, want 2 and 2", streamCopies, pfsCopies)
 	}
-	// queue_depth has 2 change points, ops_enqueued has 1; the
-	// sample-less histogram contributes none.
-	if counterSamples != 3 {
-		t.Fatalf("counter samples = %d, want 3", counterSamples)
+	// queue_depth has 2 change points, ops_enqueued has 1, and the
+	// histogram contributes one sample on each of its three quantile
+	// tracks.
+	if counterSamples != 6 {
+		t.Fatalf("counter samples = %d, want 6", counterSamples)
+	}
+	quantiles := make(map[string]float64)
+	for _, ev := range events {
+		if ev["ph"] == "C" && strings.HasPrefix(ev["name"].(string), "asyncvol.drain_wait_seconds.") {
+			args := ev["args"].(map[string]any)
+			quantiles[ev["name"].(string)] = args["value"].(float64)
+		}
+	}
+	for _, q := range []string{"p50", "p95", "p99"} {
+		if v := quantiles["asyncvol.drain_wait_seconds."+q]; v != 0.015 {
+			t.Fatalf("%s quantile track = %v, want 0.015", q, v)
+		}
+	}
+}
+
+// TestCritPathOverlay checks that WriteProfile adds the pid-6 overlay:
+// one slice per profile segment, named by its top cause.
+func TestCritPathOverlay(t *testing.T) {
+	spans, reg := twoRankFixture(t)
+	prof := &critpath.Profile{
+		SchemaVersion:   critpath.SchemaVersion,
+		MakespanSeconds: 0.025,
+		Segments: []critpath.Segment{
+			{StartSeconds: 0, EndSeconds: 0.010, Track: "rank0", TopCause: critpath.Compute},
+			{StartSeconds: 0.010, EndSeconds: 0.025, Track: "rank1", TopCause: critpath.PFSTransfer},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, spans, reg, prof); err != nil {
+		t.Fatal(err)
+	}
+	events := decode(t, buf.Bytes())
+
+	var overlay []map[string]any
+	var procName, threadName string
+	for _, ev := range events {
+		if ev["pid"].(float64) != 6 {
+			continue
+		}
+		switch {
+		case ev["ph"] == "M" && ev["name"] == "process_name":
+			procName = ev["args"].(map[string]any)["name"].(string)
+		case ev["ph"] == "M" && ev["name"] == "thread_name":
+			threadName = ev["args"].(map[string]any)["name"].(string)
+		case ev["ph"] == "X":
+			overlay = append(overlay, ev)
+		}
+	}
+	if procName != "critical path" || threadName != "segments" {
+		t.Fatalf("overlay metadata = (%q, %q), want (critical path, segments)", procName, threadName)
+	}
+	if len(overlay) != 2 {
+		t.Fatalf("overlay slices = %d, want 2", len(overlay))
+	}
+	if overlay[0]["name"] != string(critpath.Compute) || overlay[1]["name"] != string(critpath.PFSTransfer) {
+		t.Fatalf("overlay names = %v, %v", overlay[0]["name"], overlay[1]["name"])
+	}
+	if tr := overlay[1]["args"].(map[string]any)["track"]; tr != "rank1" {
+		t.Fatalf("second segment track = %v, want rank1", tr)
+	}
+	if dur := overlay[1]["dur"].(float64); math.Abs(dur-15000) > 1e-6 {
+		t.Fatalf("second segment dur = %v usec, want 15000", dur)
+	}
+
+	// Write without a profile must not grow a pid-6 group.
+	var plain bytes.Buffer
+	if err := Write(&plain, spans, reg); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range decode(t, plain.Bytes()) {
+		if ev["pid"].(float64) == 6 {
+			t.Fatal("Write without a profile emitted a critical-path event")
+		}
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"asyncio/internal/critpath"
 	"asyncio/internal/metrics"
 	"asyncio/internal/vclock"
 )
@@ -153,6 +154,16 @@ type DurableStore struct {
 	mDirty        *metrics.Gauge
 	mFlushes      *metrics.Counter
 	mFlushedBytes *metrics.Counter
+	crit          *critpath.Recorder
+}
+
+// SetCrit attaches the critical-path recorder; charged fsync barriers
+// record fsync-journal edges. Call once, before the run.
+func (d *DurableStore) SetCrit(rec *critpath.Recorder) {
+	if d == nil {
+		return
+	}
+	d.crit = rec
 }
 
 // NewDurableStore wraps base with write-back durability semantics.
@@ -363,7 +374,12 @@ func (d *DurableStore) syncCharged(p *vclock.Proc) error {
 		if d.cfg.FlushBandwidth > 0 && nd > 0 {
 			cost += time.Duration(float64(nd) / d.cfg.FlushBandwidth * float64(time.Second))
 		}
+		start := p.Now()
 		p.Sleep(cost)
+		d.crit.Record(critpath.Edge{
+			Track: p.Name(), Cause: critpath.FsyncJournal, Subsystem: "pfs",
+			Detail: "fsync", Start: start, End: p.Now(), Bytes: nd,
+		})
 	}
 	return nil
 }

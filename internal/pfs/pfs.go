@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"asyncio/internal/critpath"
 	"asyncio/internal/flow"
 	"asyncio/internal/metrics"
 	"asyncio/internal/trace"
@@ -70,6 +71,19 @@ type Target struct {
 	mMetaOps                    *metrics.Counter
 	mBytesWritten, mBytesRead   *metrics.Counter
 	mPenaltyHits, mPenaltyBytes *metrics.Counter
+
+	// crit, when non-nil, records every charged transfer and metadata
+	// operation as a causal edge (set once before the run).
+	crit *critpath.Recorder
+}
+
+// SetCrit attaches the critical-path recorder. Call once, before the
+// run starts.
+func (t *Target) SetCrit(rec *critpath.Recorder) {
+	if t == nil {
+		return
+	}
+	t.crit = rec
 }
 
 // Stats is a snapshot of a target's charged traffic. Untimed operations
@@ -272,6 +286,10 @@ func (t *Target) TryWriteData(p *vclock.Proc, nbytes int64, sp *trace.Span) erro
 		t.mWriteOps.Add(1)
 		t.mBytesWritten.Add(nbytes)
 		sp.EventDurOn("pfs:"+t.cfg.Name+":write", nbytes, start, p.Now()-start, p.Name())
+		t.crit.Record(critpath.Edge{
+			Track: p.Name(), Cause: critpath.PFSTransfer, Subsystem: "pfs",
+			Detail: "pfs:" + t.cfg.Name + ":write", Start: start, End: p.Now(), Bytes: nbytes,
+		})
 	}
 	return nil
 }
@@ -288,6 +306,10 @@ func (t *Target) TryReadData(p *vclock.Proc, nbytes int64, sp *trace.Span) error
 		t.mReadOps.Add(1)
 		t.mBytesRead.Add(nbytes)
 		sp.EventDurOn("pfs:"+t.cfg.Name+":read", nbytes, start, p.Now()-start, p.Name())
+		t.crit.Record(critpath.Edge{
+			Track: p.Name(), Cause: critpath.PFSTransfer, Subsystem: "pfs",
+			Detail: "pfs:" + t.cfg.Name + ":read", Start: start, End: p.Now(), Bytes: nbytes,
+		})
 	}
 	return nil
 }
@@ -321,12 +343,19 @@ func (t *Target) MetaOp(p *vclock.Proc) {
 	if p == nil {
 		return
 	}
+	start := p.Now()
+	// A fault stall inside the hook is recorded as a FaultStall edge by
+	// the injector; its precedence beats the enclosing Metadata bracket.
 	if t.hook != nil {
 		t.hook.BeforeMeta(p, t.cfg.Name)
 	}
 	p.Sleep(t.cfg.MetaLatency)
 	t.metaOps.Add(1)
 	t.mMetaOps.Add(1)
+	t.crit.Record(critpath.Edge{
+		Track: p.Name(), Cause: critpath.Metadata, Subsystem: "pfs",
+		Detail: "meta:" + t.cfg.Name, Start: start, End: p.Now(),
+	})
 }
 
 // procNow returns p's virtual time, tolerating nil.

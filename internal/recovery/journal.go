@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"asyncio/internal/critpath"
 	"asyncio/internal/metrics"
 	"asyncio/internal/vclock"
 )
@@ -113,6 +114,17 @@ type Journal struct {
 	// Pay-for-use instruments; nil-safe when never registered.
 	mRecords *metrics.Counter
 	mBytes   *metrics.Counter
+
+	crit *critpath.Recorder
+}
+
+// SetCrit attaches the critical-path recorder; charged appends record
+// fsync-journal edges. Call once, before the run.
+func (j *Journal) SetCrit(rec *critpath.Recorder) {
+	if j == nil {
+		return
+	}
+	j.crit = rec
 }
 
 // NewJournal returns an empty journal with the given append cost.
@@ -147,7 +159,12 @@ func (j *Journal) Append(p *vclock.Proc, rec *Record) error {
 			d += time.Duration(float64(size) / j.cost.Bandwidth * float64(time.Second))
 		}
 		if d > 0 {
+			start := p.Now()
 			p.Sleep(d)
+			j.crit.Record(critpath.Edge{
+				Track: p.Name(), Cause: critpath.FsyncJournal, Subsystem: "recovery",
+				Detail: "journal-append", Start: start, End: p.Now(), Bytes: int64(size),
+			})
 		}
 	}
 	j.mu.Lock()

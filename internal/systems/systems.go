@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"asyncio/internal/critpath"
 	"asyncio/internal/faults"
 	"asyncio/internal/memsys"
 	"asyncio/internal/metrics"
@@ -54,6 +55,10 @@ type System struct {
 	// into their connectors (see workloads/harness) and core inherits
 	// its degradation policy.
 	Faults *faults.Injector
+	// Crit is the causal critical-path recorder when the system was built
+	// with WithCritPath; nil disables profiling (every call site records
+	// through it unconditionally — the recorder is nil-safe).
+	Crit *critpath.Recorder
 	// Coord is the shard coordinator when the system was built with
 	// WithSharding; nil for a serial run. Clk is then shard 0's clock:
 	// shared resources (PFS flow servers, fault windows, the metrics
@@ -75,6 +80,7 @@ type config struct {
 	faults         *faults.Injector
 	coord          *vclock.Coordinator
 	policy         string
+	crit           *critpath.Recorder
 }
 
 // WithContention enables day-to-day backend contention, deterministic in
@@ -93,6 +99,15 @@ func WithContention(seed, day int64) Option {
 // scheduled on the clock. One injector serves one system/run.
 func WithFaults(in *faults.Injector) Option {
 	return func(c *config) { c.faults = in }
+}
+
+// WithCritPath attaches a causal critical-path recorder: the clock (or
+// every shard of the coordinator) reports blocking waits into its
+// wait-for graph, the storage targets and fault injector record typed
+// causal edges, and core.Run seals the profile into the Report. One
+// recorder serves one system/run.
+func WithCritPath(rec *critpath.Recorder) Option {
+	return func(c *config) { c.crit = rec }
 }
 
 // WithSharding runs the system on a sharded event engine: the clock
@@ -209,6 +224,21 @@ func finish(s *System, cfg config) {
 	s.Metrics = metrics.NewRegistry(s.Clk)
 	s.PFS.Instrument(s.Metrics)
 	s.BurstBuffer.Instrument(s.Metrics)
+	if cfg.crit != nil {
+		s.Crit = cfg.crit
+		if s.Coord != nil {
+			s.Coord.SetWaitObserver(s.Crit)
+		} else {
+			s.Clk.SetWaitObserver(s.Crit)
+		}
+		s.PFS.SetCrit(s.Crit)
+		s.BurstBuffer.SetCrit(s.Crit)
+		// Must precede Attach-time RetryStage creation in the workloads:
+		// the injector captures the recorder into its retry policy.
+		if cfg.faults != nil {
+			cfg.faults.SetCrit(s.Crit)
+		}
+	}
 	if cfg.contention {
 		s.PFS.SetContentionFactor(pfs.ContentionForDay(cfg.contentionSeed, cfg.day))
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 
+	"asyncio/internal/critpath"
 	"asyncio/internal/metrics"
 	"asyncio/internal/vclock"
 )
@@ -28,6 +29,8 @@ type Engine struct {
 	mTasks       *metrics.Counter
 	mTaskSeconds *metrics.Histogram
 	mQueued      *metrics.Gauge
+
+	critRec *critpath.Recorder
 }
 
 // New returns an Engine on clk.
@@ -64,6 +67,26 @@ func (e *Engine) instruments() (*metrics.Counter, *metrics.Histogram, *metrics.G
 	return e.mTasks, e.mTaskSeconds, e.mQueued
 }
 
+// SetCrit attaches the critical-path recorder: streams record their
+// idle waits and dependency waits as causal edges. Idempotent (first
+// non-nil recorder wins), mirroring SetMetrics.
+func (e *Engine) SetCrit(rec *critpath.Recorder) {
+	if rec == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.critRec == nil {
+		e.critRec = rec
+	}
+}
+
+func (e *Engine) crit() *critpath.Recorder {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.critRec
+}
+
 // NewStream spawns an execution stream: a dedicated process that runs
 // pushed tasks in FIFO order. The stream runs until Shutdown.
 func (e *Engine) NewStream(name string) *Stream {
@@ -83,8 +106,8 @@ func (e *Engine) NewStreamOn(clk *vclock.Clock, name string) *Stream {
 		e:      e,
 		clk:    clk,
 		name:   name,
-		wake:   vclock.NewEvent(clk),
-		exited: vclock.NewEvent(clk),
+		wake:   vclock.NewEventNamed(clk, "taskengine:wake"),
+		exited: vclock.NewEventNamed(clk, "taskengine:exited"),
 	}
 	e.mu.Lock()
 	e.streams = append(e.streams, s)
@@ -143,7 +166,7 @@ func (s *Stream) Push(name string, deps []*Task, fn func(p *vclock.Proc) error) 
 		name: name,
 		deps: append([]*Task(nil), deps...),
 		fn:   fn,
-		done: vclock.NewEvent(s.clk),
+		done: vclock.NewEventNamed(s.clk, "taskengine:done"),
 	}
 	s.mu.Lock()
 	if s.stopped {
@@ -241,10 +264,15 @@ func (s *Stream) run(p *vclock.Proc) {
 			}
 			// Re-arm the wake event (events are one-shot) and sleep
 			// until more work arrives.
-			s.wake = vclock.NewEvent(s.clk)
+			s.wake = vclock.NewEventNamed(s.clk, "taskengine:wake")
 			wake := s.wake
 			s.mu.Unlock()
+			idleStart := p.Now()
 			wake.Wait(p)
+			s.e.crit().Record(critpath.Edge{
+				Track: p.Name(), Cause: critpath.QueueWait, Subsystem: "taskengine",
+				Detail: "stream-idle", Start: idleStart, End: p.Now(),
+			})
 			continue
 		}
 		t := s.queue[0]
@@ -253,8 +281,15 @@ func (s *Stream) run(p *vclock.Proc) {
 		s.mu.Unlock()
 		tasks, seconds, queued := s.e.instruments()
 		queued.Add(-1)
-		for _, dep := range t.deps {
-			dep.done.Wait(p)
+		if len(t.deps) > 0 {
+			depStart := p.Now()
+			for _, dep := range t.deps {
+				dep.done.Wait(p)
+			}
+			s.e.crit().Record(critpath.Edge{
+				Track: p.Name(), Cause: critpath.QueueWait, Subsystem: "taskengine",
+				Detail: "task-dep", Start: depStart, End: p.Now(),
+			})
 		}
 		start := p.Now()
 		err := t.fn(p)

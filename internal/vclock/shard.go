@@ -159,6 +159,14 @@ func (co *Coordinator) Clock(i int) *Clock { return co.shards[i] }
 // must not be mutated.
 func (co *Coordinator) Clocks() []*Clock { return co.shards }
 
+// SetWaitObserver installs o on every member clock. Must be called
+// before any process runs.
+func (co *Coordinator) SetWaitObserver(o WaitObserver) {
+	for _, s := range co.shards {
+		s.SetWaitObserver(o)
+	}
+}
+
 // SetLookahead sets the conservative lookahead L: shards may fire events
 // up to t_min + L per window. L must be a lower bound on the virtual
 // latency of every cross-shard interaction; L = 0 (the default, and the

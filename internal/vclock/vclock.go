@@ -84,7 +84,28 @@ type Clock struct {
 	// in-place. Both are set once at construction and read-only after.
 	coord *Coordinator
 	shard int
+
+	// waitObs, when non-nil, observes every blocking interval (sleeps
+	// and event waits). Set once via SetWaitObserver before any process
+	// runs; read lock-free on the hot path.
+	waitObs WaitObserver
 }
+
+// WaitObserver receives every blocking edge of the clock's processes:
+// kind is "sleep" or "event", label the event's label (empty for
+// sleeps and unlabeled events), start/end the blocked interval in
+// virtual time, and crossShard whether the wait crossed a shard
+// boundary of a sharded engine. Implementations must be safe for
+// concurrent use and cheap — they run on every blocking operation.
+// internal/critpath's Recorder implements this interface.
+type WaitObserver interface {
+	ObserveWait(proc, kind, label string, start, end time.Duration, crossShard bool)
+}
+
+// SetWaitObserver installs o as the clock's blocking-edge observer.
+// Must be called before any process runs; the field is read without
+// synchronization afterwards.
+func (c *Clock) SetWaitObserver(o WaitObserver) { c.waitObs = o }
 
 // New returns a Clock set to virtual time zero.
 func New() *Clock {
@@ -411,6 +432,10 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
+	var sleepStart time.Duration
+	if c.waitObs != nil {
+		sleepStart = c.Now()
+	}
 	c.mu.Lock()
 	if p.killed.Load() {
 		c.mu.Unlock()
@@ -433,6 +458,9 @@ func (p *Proc) Sleep(d time.Duration) {
 	<-p.wake
 	p.state = stateRunning
 	p.checkKilled()
+	if o := c.waitObs; o != nil {
+		o.ObserveWait(p.name, "sleep", "", sleepStart, c.Now(), false)
+	}
 }
 
 // Yield lets other runnable work at the current instant proceed.
@@ -443,12 +471,17 @@ func (p *Proc) Yield() { p.Sleep(0) }
 // usable; construct with NewEvent.
 type Event struct {
 	c       *Clock
+	label   string
 	fired   bool
 	waiters []*Proc
 }
 
 // NewEvent returns an unfired Event on c.
 func NewEvent(c *Clock) *Event { return &Event{c: c} }
+
+// NewEventNamed returns an unfired Event carrying a label that wait
+// observers see; the label has no effect on scheduling.
+func NewEventNamed(c *Clock, label string) *Event { return &Event{c: c, label: label} }
 
 // Fired reports whether the event has been fired.
 func (e *Event) Fired() bool {
@@ -535,6 +568,14 @@ func (e *Event) Wait(p *Proc) {
 		c.mu.Unlock()
 		return
 	}
+	// Capture the wait's start before blockLocked: on the serial engine
+	// blocking the last runnable proc advances the clock inline, so a
+	// read afterwards would see the wake instant, not the block instant.
+	var start time.Duration
+	obs := c.waitObs
+	if obs != nil {
+		start = time.Duration(c.nowView.Load())
+	}
 	e.waiters = append(e.waiters, p)
 	p.waitingOn = e
 	p.state = stateEventWait
@@ -547,6 +588,9 @@ func (e *Event) Wait(p *Proc) {
 	<-p.wake
 	p.state = stateRunning
 	p.checkKilled()
+	if obs != nil {
+		obs.ObserveWait(p.name, "event", e.label, start, c.Now(), false)
+	}
 }
 
 // waitCross is Wait for a waiter on a different shard than the event.
@@ -574,6 +618,13 @@ func (e *Event) waitCross(p *Proc) {
 		first.mu.Unlock()
 		return
 	}
+	// As in Wait: read the block instant before blockLocked can advance
+	// the proc's clock.
+	var start time.Duration
+	obs := pc.waitObs
+	if obs != nil {
+		start = time.Duration(pc.nowView.Load())
+	}
 	e.waiters = append(e.waiters, p)
 	p.waitingOn = e
 	p.state = stateEventWait
@@ -587,6 +638,9 @@ func (e *Event) waitCross(p *Proc) {
 	<-p.wake
 	p.state = stateRunning
 	p.checkKilled()
+	if obs != nil {
+		obs.ObserveWait(p.name, "event", e.label, start, pc.Now(), true)
+	}
 }
 
 // Timer is a cancellable scheduled callback created by AfterFunc. The

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"asyncio/internal/core"
+	"asyncio/internal/critpath"
 	"asyncio/internal/hdf5"
 	"asyncio/internal/ioreq"
 	"asyncio/internal/metrics"
@@ -44,6 +45,17 @@ func NewCrashKit(cfg pfs.DurabilityConfig, cost recovery.Cost, capturePayload bo
 // rank's connector.
 func (k *CrashKit) InlineStages() []ioreq.Stage {
 	return []ioreq.Stage{k.Stage}
+}
+
+// SetCrit attaches the critical-path recorder to the kit's durability
+// machinery: journal appends and charged fsync barriers record
+// fsync-journal edges. Nil-safe on both sides.
+func (k *CrashKit) SetCrit(rec *critpath.Recorder) {
+	if k == nil {
+		return
+	}
+	k.Journal.SetCrit(rec)
+	k.Durable.SetCrit(rec)
 }
 
 // Checkpointer coordinates application-level durable checkpoints: every

@@ -76,11 +76,13 @@ func NewEnv(ctx *core.RankCtx, eng *taskengine.Engine, raw *hdf5.File, opts Opti
 		copyModel = asyncvol.CopyFunc(ctx.Sys.MemcpyModel(ctx.Rank))
 	}
 	eng.SetMetrics(ctx.Sys.Metrics)
+	eng.SetCrit(ctx.Sys.Crit)
 	avOpts := asyncvol.Options{
 		Copy:         copyModel,
 		Materialize:  opts.Materialize,
 		Aggregate:    opts.AsyncAggregate,
 		Metrics:      ctx.Sys.Metrics,
+		Crit:         ctx.Sys.Crit,
 		InlineStages: opts.AsyncInlineStages,
 		// Under the sharded engine the rank's background stream lives on
 		// the rank's home shard (ClockFor is the system clock when
@@ -105,12 +107,14 @@ func NewEnv(ctx *core.RankCtx, eng *taskengine.Engine, raw *hdf5.File, opts Opti
 	// with the rank: queued asynchronous writes are abandoned un-issued,
 	// which is exactly the data-loss window crash experiments measure.
 	ctx.OnCrash(func(reason error) { conn.Kill(reason) })
+	es := asyncvol.NewEventSet()
+	es.SetCrit(ctx.Sys.Crit)
 	return &Env{
 		Rank:      ctx.Rank,
 		Conn:      conn,
 		AsyncFile: conn.Wrap(raw),
 		SyncFile:  vol.Native{Pipeline: syncPL}.Wrap(raw),
-		ES:        asyncvol.NewEventSet(),
+		ES:        es,
 		syncPL:    syncPL,
 	}
 }
