@@ -65,6 +65,11 @@ func main() {
 		fatalf("%v", derr)
 	}
 	experiments.SetDefaultDurability(&dur)
+	csp, cerr := cf.ConsistencySpec()
+	if cerr != nil {
+		fatalf("-consistency: %v", cerr)
+	}
+	experiments.SetDefaultConsistency(csp)
 	experiments.SetParallelism(*parallel)
 
 	// Selfbench pins shard counts per case (serial baselines vs explicit

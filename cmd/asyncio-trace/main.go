@@ -40,6 +40,7 @@ import (
 	"asyncio/internal/core"
 	"asyncio/internal/critpath"
 	"asyncio/internal/perfetto"
+	"asyncio/internal/pfs"
 	"asyncio/internal/recovery"
 	"asyncio/internal/shard"
 	"asyncio/internal/systems"
@@ -87,6 +88,15 @@ func main() {
 	}
 	if cf.WantCritPath() {
 		sysOpts = append(sysOpts, systems.WithCritPath(critpath.NewRecorder()))
+	}
+	csp, cserr := cf.ConsistencySpec()
+	if cserr != nil {
+		fatalf("-consistency: %v", cserr)
+	}
+	var cons *pfs.Consistency
+	if csp != nil {
+		cons = pfs.NewConsistency(csp)
+		sysOpts = append(sysOpts, systems.WithConsistency(cons))
 	}
 	// The run is this process's only work, so -shards auto takes the
 	// whole machine. Every output below is byte-identical at any shard
@@ -211,6 +221,13 @@ func main() {
 	fmt.Fprintf(os.Stderr, "%s on %s, %d nodes (%d ranks), %d epochs, mode=%s: total %v, peak %.2f GB/s\n",
 		*workload, sys.Name, sys.Nodes(), rep.Run.Ranks, len(rep.Run.Records), *modeStr,
 		rep.Run.TotalTime().Round(time.Millisecond), rep.Run.PeakRate()/1e9)
+	if cons != nil {
+		fmt.Fprintf(os.Stderr, "consistency: %s, visibility wait %v\n",
+			cons.Checker().Summary(), time.Duration(cons.VisibilityWaitNs()))
+		if cerr := cons.Checker().Check(); cerr != nil && !aborted {
+			fatalf("consistency check: %v", cerr)
+		}
+	}
 	if aborted {
 		for _, cr := range rep.Crashes {
 			fmt.Fprintf(os.Stderr, "crash at %v: ranks %v (%s)\n", cr.At, cr.Ranks, cr.Err)

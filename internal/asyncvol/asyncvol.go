@@ -118,6 +118,13 @@ type Options struct {
 	// backpressure, drain waits, staging copies, prefetch waits, and
 	// injected background stalls — as causal critical-path edges.
 	Crit *critpath.Recorder
+	// OnDrained, when non-nil, runs on the caller after every successful
+	// Drain — the connector's sync point, where MPI-IO-style consistency
+	// models publish the rank's completed writes.
+	OnDrained func(p *vclock.Proc)
+	// OnClose, when non-nil, runs on the caller after a successful file
+	// Close (post-drain) — the session-consistency publish point.
+	OnClose func(p *vclock.Proc)
 }
 
 // Connector is the asynchronous connector for one simulated process.
@@ -246,6 +253,9 @@ func (c *Connector) Drain(p *vclock.Proc) error {
 	last := c.last
 	c.mu.Unlock()
 	if last == nil {
+		if f := c.opts.OnDrained; f != nil {
+			f(p)
+		}
 		return nil
 	}
 	waitStart := procNow(p)
@@ -256,6 +266,11 @@ func (c *Connector) Drain(p *vclock.Proc) error {
 		Track: procName(p), Cause: critpath.QueueWait, Subsystem: "asyncvol",
 		Detail: "drain", Start: waitStart, End: procNow(p),
 	})
+	if err == nil {
+		if f := c.opts.OnDrained; f != nil {
+			f(p)
+		}
+	}
 	return err
 }
 
@@ -627,7 +642,13 @@ func (af *asyncFile) Close(pr vol.Props) error {
 	if err := af.c.Drain(pr.Proc); err != nil {
 		return err
 	}
-	return af.native.Close(pr)
+	if err := af.native.Close(pr); err != nil {
+		return err
+	}
+	if f := af.c.opts.OnClose; f != nil {
+		f(pr.Proc)
+	}
+	return nil
 }
 
 func (af *asyncFile) Unwrap() *hdf5.File { return af.f }

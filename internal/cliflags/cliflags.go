@@ -35,6 +35,9 @@ type Set struct {
 	CheckpointEvery int    // -checkpoint-every: durable commit interval, 0 = off
 	Journal         bool   // -journal: write-ahead journal on the async path
 
+	// PFS consistency model.
+	Consistency string // -consistency: spec parsed by internal/pfs
+
 	// Event-engine sharding.
 	Shards string // -shards: auto, N, N:block, or N:stripe
 }
@@ -52,6 +55,7 @@ func Register(fs *flag.FlagSet) *Set {
 	fs.Int64Var(&s.DurabilitySeed, "durability-seed", 1, "seed for the crash tearing draws")
 	fs.IntVar(&s.CheckpointEvery, "checkpoint-every", 0, "durable checkpoint interval in epochs, 0 = off")
 	fs.BoolVar(&s.Journal, "journal", false, "journal asynchronous writes ahead of dispatch")
+	fs.StringVar(&s.Consistency, "consistency", "", "PFS consistency model: posix | session | mpiio | commit, with ;key=value tuning (see internal/pfs); empty = historical implicit model")
 	fs.StringVar(&s.Shards, "shards", "auto", "intra-run event-engine shards: auto, N, N:block, or N:stripe")
 	return s
 }
@@ -77,6 +81,16 @@ func (s *Set) Injector() (*faults.Injector, error) {
 		return nil, nil
 	}
 	return faults.New(s.Faults)
+}
+
+// ConsistencySpec parses -consistency (nil, nil when the flag was left
+// empty: the historical implicit model, byte-identical to builds that
+// predate the knob).
+func (s *Set) ConsistencySpec() (*pfs.ConsistencySpec, error) {
+	if s.Consistency == "" {
+		return nil, nil
+	}
+	return pfs.ParseConsistency(s.Consistency)
 }
 
 // DurabilityConfig resolves -durability/-durability-seed into the

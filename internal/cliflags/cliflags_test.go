@@ -15,8 +15,9 @@ import (
 // asserted here so removing a flag from Register (which would silently
 // shrink both CLIs) fails a test rather than a user.
 var sharedNames = []string{
-	"checkpoint-every", "critpath", "durability", "durability-seed",
-	"faults", "journal", "metrics", "pprof", "shards", "trace-json",
+	"checkpoint-every", "consistency", "critpath", "durability",
+	"durability-seed", "faults", "journal", "metrics", "pprof",
+	"shards", "trace-json",
 }
 
 func TestRegisterInstallsSharedSurface(t *testing.T) {

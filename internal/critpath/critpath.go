@@ -54,6 +54,11 @@ const (
 	PFSTransfer Cause = "pfs-transfer"
 	// Metadata is time inside file-system metadata operations.
 	Metadata Cause = "metadata"
+	// VisibilityWait is consistency-model cost: the time a rank spends
+	// making its writes visible to other ranks (POSIX locking, session
+	// lease validation, MPI-IO sync tracking, publish barriers at close/
+	// sync/commit points). Recorded by pfs.Consistency.
+	VisibilityWait Cause = "visibility-wait"
 	// FsyncJournal is durability cost: fsync barriers and write-ahead
 	// journal appends.
 	FsyncJournal Cause = "fsync-journal"
@@ -71,10 +76,12 @@ const (
 func precedenceOf(c Cause) int {
 	switch c {
 	case FaultStall:
-		return 9
+		return 10
 	case RetryBackoff:
-		return 8
+		return 9
 	case FsyncJournal:
+		return 8
+	case VisibilityWait:
 		return 7
 	case Metadata:
 		return 6

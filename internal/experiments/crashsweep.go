@@ -37,6 +37,12 @@ type CrashTrialConfig struct {
 	// JournalPayload captures element bytes in the journal (verification
 	// and replay) rather than extent maps alone.
 	JournalPayload bool
+	// Consistency pins the crash run's PFS consistency model (nil falls
+	// back to the process-wide default, or the historical implicit model
+	// when that is unset too). A fresh pfs.Consistency is built per
+	// trial; its checker lands in the result for visibility/durability
+	// oracle runs.
+	Consistency *pfs.ConsistencySpec
 	// Shards runs both the crash run and the restart on a sharded event
 	// engine (<= 1: serial). Trials are byte-identical across shard
 	// counts — the chaos harness asserts it.
@@ -71,6 +77,12 @@ type CrashTrialResult struct {
 	Store hdf5.Store
 	// Journal is the run's write-ahead journal (post-crash state).
 	Journal *recovery.Journal
+	// Checker is the crash run's consistency oracle (nil when the trial
+	// ran without a consistency model). The restart run deliberately
+	// carries no model: the oracle judges the run that crashed, and
+	// VerifyDurable holds against the final Store because the restart
+	// rewrites the same deterministic bytes.
+	Checker *pfs.ConsistencyChecker
 }
 
 // CrashTrial executes one crash→scan→replay→restart cycle. The flow is
@@ -104,14 +116,26 @@ func CrashTrial(cfg CrashTrialConfig) (*CrashTrialResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	var cons *pfs.Consistency
+	if sp := cfg.Consistency; sp != nil {
+		c := *sp
+		cons = pfs.NewConsistency(&c)
+	} else if defaultConsistency != nil {
+		c := *defaultConsistency
+		cons = pfs.NewConsistency(&c)
+	}
+
 	clk, shardOpts := newClock(cfg.Shards)
 	opts := append(append(shardOpts, critOpts()...), systems.WithFaults(in))
+	if cons != nil {
+		opts = append(opts, systems.WithConsistency(cons))
+	}
 	sys := systems.Summit(clk, cfg.Nodes, opts...)
 	ck.Instrument(sys.Metrics)
 	kit.Journal.Instrument(sys.Metrics, "vpic")
 	kit.SetCrit(sys.Crit)
 
-	res := &CrashTrialResult{LastDurable: -1, Store: kit.Base, Journal: kit.Journal}
+	res := &CrashTrialResult{LastDurable: -1, Store: kit.Base, Journal: kit.Journal, Checker: cons.Checker()}
 	rep, _, err := vpicio.Run(sys, vpicio.Config{
 		Steps:            cfg.Steps,
 		ParticlesPerRank: cfg.ParticlesPerRank,

@@ -26,6 +26,27 @@ func critOpts() []systems.Option {
 	return []systems.Option{systems.WithCritPath(critpath.NewRecorder())}
 }
 
+// defaultConsistency, when non-nil, attaches a PFS consistency model
+// (built fresh per system — a Consistency serves exactly one run) to
+// every system the experiment generators construct. cmd/asyncio-bench
+// wires its -consistency flag here.
+var defaultConsistency *pfs.ConsistencySpec
+
+// SetDefaultConsistency installs the consistency model every generated
+// system runs under; nil restores the historical implicit model.
+func SetDefaultConsistency(sp *pfs.ConsistencySpec) { defaultConsistency = sp }
+
+// consistencyOpts returns the extra system options the default
+// consistency model requires (none when it is off). Each call hands
+// out a fresh Consistency: one serves exactly one run.
+func consistencyOpts() []systems.Option {
+	if defaultConsistency == nil {
+		return nil
+	}
+	sp := *defaultConsistency
+	return []systems.Option{systems.WithConsistency(pfs.NewConsistency(&sp))}
+}
+
 // defaultDurability, when non-nil, replaces the stock GPFS write-back
 // model on crash trials whose config does not pin one.
 // cmd/asyncio-bench wires its -durability/-durability-seed flags here.

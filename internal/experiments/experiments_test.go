@@ -63,7 +63,8 @@ func TestRegistryComplete(t *testing.T) {
 		"fig5", "fig6", "fig7", "fig8",
 		"r2", "micro-mem", "micro-gpu",
 		"abl-zerocopy", "abl-fit", "abl-staging", "abl-bb",
-		"abl-agg", "abl-blame", "faultsweep", "crashsweep",
+		"abl-agg", "abl-blame", "abl-consistency",
+		"faultsweep", "crashsweep",
 	}
 	for _, id := range want {
 		if reg[id] == nil {

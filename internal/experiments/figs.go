@@ -23,20 +23,21 @@ type Generator func(Scale) (*Table, error)
 // Registry maps experiment ids (as in DESIGN.md) to generators.
 func Registry() map[string]Generator {
 	reg := map[string]Generator{
-		"fig1":         Fig1Scenarios,
-		"fig7":         Fig7NyxOverlapCori,
-		"fig8":         Fig8VPICVariability,
-		"r2":           ModelAccuracy,
-		"faultsweep":   FaultSweep,
-		"crashsweep":   CrashSweep,
-		"micro-mem":    MicroMemcpy,
-		"micro-gpu":    MicroGPUTransfer,
-		"abl-zerocopy": AblationZeroCopy,
-		"abl-fit":      AblationFitKinds,
-		"abl-staging":  AblationStaging,
-		"abl-bb":       AblationBurstBuffer,
-		"abl-agg":      AblationAggregation,
-		"abl-blame":    AblationBlame,
+		"fig1":            Fig1Scenarios,
+		"fig7":            Fig7NyxOverlapCori,
+		"fig8":            Fig8VPICVariability,
+		"r2":              ModelAccuracy,
+		"faultsweep":      FaultSweep,
+		"crashsweep":      CrashSweep,
+		"micro-mem":       MicroMemcpy,
+		"micro-gpu":       MicroGPUTransfer,
+		"abl-zerocopy":    AblationZeroCopy,
+		"abl-fit":         AblationFitKinds,
+		"abl-staging":     AblationStaging,
+		"abl-bb":          AblationBurstBuffer,
+		"abl-agg":         AblationAggregation,
+		"abl-blame":       AblationBlame,
+		"abl-consistency": AblationConsistency,
 	}
 	for id := range sweepSpecs() {
 		id := id
@@ -50,7 +51,7 @@ func Registry() map[string]Generator {
 // they are installed.
 func newSystem(name string, nodes int, opts ...systems.Option) *systems.System {
 	clk, shardOpts := newClock(Shards())
-	opts = append(append(append(faultOpts(), critOpts()...), shardOpts...), opts...)
+	opts = append(append(append(append(faultOpts(), critOpts()...), consistencyOpts()...), shardOpts...), opts...)
 	if name == "summit" {
 		return systems.Summit(clk, nodes, opts...)
 	}

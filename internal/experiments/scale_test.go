@@ -3,6 +3,8 @@ package experiments
 import (
 	"os"
 	"testing"
+
+	"asyncio/internal/pfs"
 )
 
 // TestRaceAtScale runs one VPIC-IO sweep point at 4096 ranks (128
@@ -20,6 +22,21 @@ func TestRaceAtScale(t *testing.T) { raceAtScale(t) }
 func TestRaceAtScaleSharded(t *testing.T) {
 	prev := SetShards(4)
 	defer SetShards(prev)
+	raceAtScale(t)
+}
+
+// TestRaceAtScaleConsistency reruns the 4096-rank point with the POSIX
+// consistency model and its checker enabled on every generated system:
+// thousands of ranks recording writes into one oracle is exactly where
+// a locking mistake in the checker's recorder would surface under
+// -race. CI runs it in both halves of the race matrix.
+func TestRaceAtScaleConsistency(t *testing.T) {
+	sp, err := pfs.ParseConsistency("posix;check=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetDefaultConsistency(sp)
+	defer SetDefaultConsistency(nil)
 	raceAtScale(t)
 }
 

@@ -1,0 +1,56 @@
+package pfs
+
+import "testing"
+
+// FuzzConsistencySpec asserts the consistency-spec grammar's
+// canonicalization fixed point: any string that parses must render to
+// a canonical form that parses back to the identical spec, and that
+// canonical form must be its own fixed point (String ∘ ParseConsistency
+// is idempotent). Parse failures are fine; panics, canonical forms
+// that fail to re-parse, and round-trips that change the spec are not.
+func FuzzConsistencySpec(f *testing.F) {
+	seeds := []string{
+		"",
+		"posix",
+		"session",
+		"mpiio",
+		"commit",
+		"posix;check=1",
+		"posix;check=0;lock=400us",
+		"posix;lock=1ms;publish=0s;bw=2e9",
+		"session;lease=100us;publish=200us",
+		"session; check=1 ; lease=0s",
+		"mpiio;track=25us;check=1",
+		"commit;publish=50us;bw=1e6",
+		"commit;bw=0",
+		"posix;bw=0x1p-2",
+		"nfs",             // unknown model
+		"posix;lock",      // not key=value
+		"posix;lock=-1ms", // negative duration
+		"posix;lock=fast", // unparsable duration
+		"posix;check=yes", // bad bool
+		"posix;bw=-1",     // negative bandwidth
+		"mpiio;stripe=4",  // unknown key
+		"posix;;publish=1s",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sp, err := ParseConsistency(s)
+		if err != nil {
+			return
+		}
+		canon := sp.String()
+		sp2, err := ParseConsistency(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, s, err)
+		}
+		if again := sp2.String(); again != canon {
+			t.Fatalf("String is not a fixed point: %q → %q → %q", s, canon, again)
+		}
+		if *sp2 != *sp {
+			t.Fatalf("round-trip of %q changed the spec: %+v vs %+v", s, *sp, *sp2)
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package pfs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"asyncio/internal/ioreq"
+)
+
+// TestCheckerRecorderConcurrency4096 hammers one Consistency's
+// recorder from 4096 concurrent ranks — the sweep's largest scale
+// point — mixing writes, reads, and every publish point, then runs the
+// oracle over the result. Under `-race` this is the memory-model proof
+// for the checker's event log; without it, it is still a useful
+// smoke test that concurrent recording neither drops nor duplicates
+// events.
+func TestCheckerRecorderConcurrency4096(t *testing.T) {
+	const ranks = 4096
+	writesPerRank := 4
+	if raceEnabled {
+		writesPerRank = 2
+	}
+
+	for _, model := range []Model{ModelPOSIX, ModelSession, ModelMPIIO, ModelCommit} {
+		t.Run(string(model), func(t *testing.T) {
+			sp, err := ParseConsistency(string(model) + ";check=1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := NewConsistency(sp)
+			var wg sync.WaitGroup
+			for rank := 0; rank < ranks; rank++ {
+				wg.Add(1)
+				go func(rank int) {
+					defer wg.Done()
+					st := c.Stage(rank)
+					for i := 0; i < writesPerRank; i++ {
+						op := ioreq.OpWrite
+						if i%2 == 1 {
+							op = ioreq.OpRead
+						}
+						// Nil Proc: charges are skipped (no virtual clock
+						// here) but the recorder path is fully exercised.
+						req := &ioreq.Request{Op: op, Buf: make([]byte, 32)}
+						if err := st.Process(req, func(*ioreq.Request) error { return nil }); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+					c.RankSync(nil, rank)
+					c.RankClose(nil, rank)
+					if rank == 0 {
+						c.Commit(nil, 0)
+					}
+				}(rank)
+			}
+			wg.Wait()
+
+			want := fmt.Sprintf("consistency=%s writes=%d reads=%d syncs=%d closes=%d commits=1 lastCommit=0s",
+				model, ranks*(writesPerRank-writesPerRank/2), ranks*(writesPerRank/2), ranks, ranks)
+			if got := c.Checker().Summary(); got != want {
+				t.Errorf("summary after concurrent recording:\n got %s\nwant %s", got, want)
+			}
+			// The synthetic requests carry no dataset, so the oracle has
+			// no extents to cross-check; Check must still traverse the
+			// full log without fault.
+			if err := c.Checker().Check(); err != nil {
+				t.Errorf("oracle over concurrent log: %v", err)
+			}
+		})
+	}
+}
+
+// TestCheckerRecorderConcurrentPublish drives the publish bookkeeping
+// (the unpublished-rank map) from many goroutines at once; the map is
+// the only mutable aggregate shared across ranks.
+func TestCheckerRecorderConcurrentPublish(t *testing.T) {
+	sp, err := ParseConsistency("commit;check=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConsistency(sp)
+	var wg sync.WaitGroup
+	for rank := 0; rank < 512; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			st := c.Stage(rank)
+			req := &ioreq.Request{Op: ioreq.OpWrite, Buf: make([]byte, 8)}
+			if err := st.Process(req, func(*ioreq.Request) error { return nil }); err != nil {
+				t.Error(err)
+			}
+			c.Commit(nil, rank)
+		}(rank)
+	}
+	wg.Wait()
+	if got, ok := c.Checker().LastCommit(); !ok || got != time.Duration(0) {
+		t.Errorf("LastCommit = %v, %v; want 0s, true", got, ok)
+	}
+}

@@ -1,0 +1,288 @@
+package pfs
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"asyncio/internal/critpath"
+	"asyncio/internal/ioreq"
+	"asyncio/internal/metrics"
+	"asyncio/internal/vclock"
+)
+
+func TestParseConsistencyDefaults(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ConsistencySpec
+	}{
+		{"posix", ConsistencySpec{Model: ModelPOSIX, Lock: 400 * time.Microsecond, Publish: 200 * time.Microsecond, PublishBW: 1.5e9}},
+		{"session", ConsistencySpec{Model: ModelSession, Lease: 100 * time.Microsecond, Publish: 200 * time.Microsecond}},
+		{"mpiio", ConsistencySpec{Model: ModelMPIIO, Track: 25 * time.Microsecond, Publish: 200 * time.Microsecond}},
+		{"commit", ConsistencySpec{Model: ModelCommit, Publish: 50 * time.Microsecond}},
+		{"posix;check=1;lock=1ms", ConsistencySpec{Model: ModelPOSIX, Check: true, Lock: time.Millisecond, Publish: 200 * time.Microsecond, PublishBW: 1.5e9}},
+		{"commit;publish=0s;bw=2e9", ConsistencySpec{Model: ModelCommit, PublishBW: 2e9}},
+		{"session; check=1 ; lease=0s", ConsistencySpec{Model: ModelSession, Check: true, Publish: 200 * time.Microsecond}},
+	}
+	for _, c := range cases {
+		sp, err := ParseConsistency(c.in)
+		if err != nil {
+			t.Errorf("ParseConsistency(%q): %v", c.in, err)
+			continue
+		}
+		if *sp != c.want {
+			t.Errorf("ParseConsistency(%q) = %+v, want %+v", c.in, *sp, c.want)
+		}
+	}
+}
+
+func TestParseConsistencyErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "nfs", "posix;lock", "posix;lock=-1ms", "posix;lock=fast",
+		"posix;check=yes", "posix;bw=-1", "posix;bw=abc", "mpiio;stripe=4",
+	} {
+		if _, err := ParseConsistency(in); err == nil {
+			t.Errorf("ParseConsistency(%q): expected error", in)
+		}
+	}
+}
+
+func TestConsistencySpecStringFixedPoint(t *testing.T) {
+	for _, in := range []string{
+		"posix", "session", "mpiio", "commit",
+		"posix;check=1", "session;lease=1ms;publish=5ms",
+		"mpiio;check=1;track=0s", "commit;bw=1e6",
+		"posix;check=0", "posix;lock=400us",
+	} {
+		sp, err := ParseConsistency(in)
+		if err != nil {
+			t.Fatalf("ParseConsistency(%q): %v", in, err)
+		}
+		canon := sp.String()
+		sp2, err := ParseConsistency(canon)
+		if err != nil {
+			t.Fatalf("ParseConsistency(%q → %q): %v", in, canon, err)
+		}
+		if again := sp2.String(); again != canon {
+			t.Errorf("String not a fixed point: %q → %q → %q", in, canon, again)
+		}
+		if *sp2 != *sp {
+			t.Errorf("round-trip of %q changed the spec: %+v vs %+v", in, *sp, *sp2)
+		}
+	}
+}
+
+// stageWrite pushes one synthetic write of n bytes through the rank's
+// consistency stage on p, returning the stage error.
+func stageWrite(c *Consistency, rank int, p *vclock.Proc, n int) error {
+	st := c.Stage(rank)
+	req := &ioreq.Request{Op: ioreq.OpWrite, Buf: make([]byte, n), Proc: p}
+	return st.Process(req, func(*ioreq.Request) error { return nil })
+}
+
+func TestConsistencyPerWriteCharges(t *testing.T) {
+	cases := []struct {
+		spec string
+		n    int
+		want time.Duration
+	}{
+		// posix: lock + publish + bytes/bw = 400µs + 200µs + 1.5e6/1.5e9 s.
+		{"posix", 1_500_000, 400*time.Microsecond + 200*time.Microsecond + time.Millisecond},
+		{"session", 1_500_000, 100 * time.Microsecond},
+		{"mpiio", 1_500_000, 25 * time.Microsecond},
+		{"commit", 1_500_000, 0},
+	}
+	for _, cse := range cases {
+		sp, err := ParseConsistency(cse.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewConsistency(sp)
+		clk := vclock.New()
+		c.Instrument(metrics.NewRegistry(clk))
+		var got time.Duration
+		clk.Go("r", func(p *vclock.Proc) {
+			if err := stageWrite(c, 0, p, cse.n); err != nil {
+				t.Error(err)
+			}
+			got = p.Now()
+		})
+		if err := clk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if got != cse.want {
+			t.Errorf("%s: write of %d bytes charged %v, want %v", cse.spec, cse.n, got, cse.want)
+		}
+		if want := int64(cse.want); c.VisibilityWaitNs() != want {
+			t.Errorf("%s: VisibilityWaitNs = %d, want %d", cse.spec, c.VisibilityWaitNs(), want)
+		}
+	}
+}
+
+func TestConsistencyPublishPoints(t *testing.T) {
+	// session publishes at close, mpiio at sync, commit at commit; each
+	// is idempotent — the second call with no new writes charges nothing.
+	cases := []struct {
+		spec    string
+		publish func(c *Consistency, p *vclock.Proc)
+	}{
+		{"session", func(c *Consistency, p *vclock.Proc) { c.RankClose(p, 0) }},
+		{"mpiio", func(c *Consistency, p *vclock.Proc) { c.RankSync(p, 0) }},
+		{"commit", func(c *Consistency, p *vclock.Proc) { c.Commit(p, 0) }},
+	}
+	for _, cse := range cases {
+		sp, err := ParseConsistency(cse.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewConsistency(sp)
+		clk := vclock.New()
+		var afterWrite, afterPub, afterSecond time.Duration
+		clk.Go("r", func(p *vclock.Proc) {
+			if err := stageWrite(c, 0, p, 64); err != nil {
+				t.Error(err)
+			}
+			afterWrite = p.Now()
+			cse.publish(c, p)
+			afterPub = p.Now()
+			cse.publish(c, p)
+			afterSecond = p.Now()
+		})
+		if err := clk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if got := afterPub - afterWrite; got != sp.Publish {
+			t.Errorf("%s: publish charged %v, want %v", cse.spec, got, sp.Publish)
+		}
+		if afterSecond != afterPub {
+			t.Errorf("%s: repeated publish charged %v; want idempotent", cse.spec, afterSecond-afterPub)
+		}
+	}
+}
+
+func TestConsistencyWrongModelPublishFree(t *testing.T) {
+	// A session run's drain (RankSync) and a mpiio run's close
+	// (RankClose) charge nothing: each model publishes only at its own
+	// point.
+	for _, cse := range []struct {
+		spec string
+		call func(c *Consistency, p *vclock.Proc)
+	}{
+		{"session", func(c *Consistency, p *vclock.Proc) { c.RankSync(p, 0); c.Commit(p, 0) }},
+		{"mpiio", func(c *Consistency, p *vclock.Proc) { c.RankClose(p, 0); c.Commit(p, 0) }},
+		{"commit", func(c *Consistency, p *vclock.Proc) { c.RankClose(p, 0); c.RankSync(p, 0) }},
+	} {
+		sp, err := ParseConsistency(cse.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewConsistency(sp)
+		clk := vclock.New()
+		var wrote, after time.Duration
+		clk.Go("r", func(p *vclock.Proc) {
+			if err := stageWrite(c, 0, p, 64); err != nil {
+				t.Error(err)
+			}
+			wrote = p.Now()
+			cse.call(c, p)
+			after = p.Now()
+		})
+		if err := clk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if after != wrote {
+			t.Errorf("%s: foreign publish points charged %v", cse.spec, after-wrote)
+		}
+	}
+}
+
+func TestConsistencyVisibilityEdgesRecorded(t *testing.T) {
+	sp, err := ParseConsistency("posix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConsistency(sp)
+	rec := critpath.NewRecorder()
+	c.SetCrit(rec)
+	clk := vclock.New()
+	clk.Go("rank0", func(p *vclock.Proc) {
+		if err := stageWrite(c, 0, p, 1024); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, e := range rec.Edges() {
+		if e.Cause == critpath.VisibilityWait {
+			found = true
+			if e.Subsystem != "consistency" || e.Track != "rank0" || e.End <= e.Start {
+				t.Errorf("malformed visibility edge: %+v", e)
+			}
+		}
+	}
+	if !found {
+		t.Error("no visibility-wait edge recorded for a posix write")
+	}
+}
+
+func TestConsistencyStageForwardsErrors(t *testing.T) {
+	sp, err := ParseConsistency("posix;check=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConsistency(sp)
+	clk := vclock.New()
+	clk.Go("r", func(p *vclock.Proc) {
+		st := c.Stage(0)
+		req := &ioreq.Request{Op: ioreq.OpWrite, Buf: make([]byte, 8), Proc: p}
+		wantErr := errInjected
+		if err := st.Process(req, func(*ioreq.Request) error { return wantErr }); err != wantErr {
+			t.Errorf("stage swallowed the error: %v", err)
+		}
+		if p.Now() != 0 {
+			t.Errorf("failed write was charged %v", p.Now())
+		}
+	})
+	if err := clk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// The failed write must not have been recorded by the checker.
+	if s := c.Checker().Summary(); s != "consistency=posix writes=0 reads=0 syncs=0 closes=0 commits=0 lastCommit=0s" {
+		t.Errorf("failed write leaked into the checker: %s", s)
+	}
+}
+
+var errInjected = errors.New("injected failure")
+
+func TestConsistencyNilSafe(t *testing.T) {
+	var c *Consistency
+	if c != NewConsistency(nil) {
+		t.Error("NewConsistency(nil) must be nil")
+	}
+	c.SetCrit(critpath.NewRecorder())
+	c.Instrument(nil)
+	c.RankClose(nil, 0)
+	c.RankSync(nil, 0)
+	c.Commit(nil, 0)
+	if c.Checker() != nil {
+		t.Error("nil Consistency must have a nil checker")
+	}
+	if c.Stage(0) != nil {
+		t.Error("nil Consistency must yield a nil stage")
+	}
+	if c.VisibilityWaitNs() != 0 {
+		t.Error("nil Consistency must report zero wait")
+	}
+	var ck *ConsistencyChecker
+	if err := ck.Check(); err != nil {
+		t.Error("nil checker must pass")
+	}
+	if err := ck.VerifyDurable(nil); err != nil {
+		t.Error("nil checker must verify durable")
+	}
+	if ck.Summary() != "consistency=off" {
+		t.Error("nil checker summary")
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package pfs
+
+const raceEnabled = false

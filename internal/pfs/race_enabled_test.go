@@ -1,0 +1,8 @@
+//go:build race
+
+package pfs
+
+// raceEnabled reports whether the race detector is compiled in. The
+// recorder-concurrency test always runs; the constant only scales the
+// iteration count down under the detector's ~10× slowdown.
+const raceEnabled = true

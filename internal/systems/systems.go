@@ -59,6 +59,12 @@ type System struct {
 	// with WithCritPath; nil disables profiling (every call site records
 	// through it unconditionally — the recorder is nil-safe).
 	Crit *critpath.Recorder
+	// Consistency is the PFS consistency model when the system was built
+	// with WithConsistency; nil runs the historical implicit model (no
+	// visibility charges, no checker). Workloads thread its stage into
+	// their request pipelines and call its publish points; every call
+	// site is nil-safe.
+	Consistency *pfs.Consistency
 	// Coord is the shard coordinator when the system was built with
 	// WithSharding; nil for a serial run. Clk is then shard 0's clock:
 	// shared resources (PFS flow servers, fault windows, the metrics
@@ -81,6 +87,7 @@ type config struct {
 	coord          *vclock.Coordinator
 	policy         string
 	crit           *critpath.Recorder
+	consistency    *pfs.Consistency
 }
 
 // WithContention enables day-to-day backend contention, deterministic in
@@ -108,6 +115,15 @@ func WithFaults(in *faults.Injector) Option {
 // recorder serves one system/run.
 func WithCritPath(rec *critpath.Recorder) Option {
 	return func(c *config) { c.crit = rec }
+}
+
+// WithConsistency attaches a PFS consistency model to the system: the
+// workload pipelines charge its per-write visibility cost, its publish
+// points fire at close/sync/commit, and (when the spec enables it) its
+// checker records every operation for the visibility oracle. One
+// Consistency serves one system/run.
+func WithConsistency(cs *pfs.Consistency) Option {
+	return func(c *config) { c.consistency = cs }
 }
 
 // WithSharding runs the system on a sharded event engine: the clock
@@ -238,6 +254,11 @@ func finish(s *System, cfg config) {
 		if cfg.faults != nil {
 			cfg.faults.SetCrit(s.Crit)
 		}
+	}
+	if cfg.consistency != nil {
+		s.Consistency = cfg.consistency
+		s.Consistency.SetCrit(s.Crit)
+		s.Consistency.Instrument(s.Metrics)
 	}
 	if cfg.contention {
 		s.PFS.SetContentionFactor(pfs.ContentionForDay(cfg.contentionSeed, cfg.day))

@@ -23,6 +23,10 @@ type Native struct {
 	// turns on collective write aggregation; the pipeline is flushed on
 	// file Flush and Close.
 	Pipeline *ioreq.Pipeline
+	// OnClose, when non-nil, runs on the caller after a successful file
+	// Close — the session-consistency publish point for the synchronous
+	// path.
+	OnClose func(p *vclock.Proc)
 }
 
 func (n Native) pipeline() *ioreq.Pipeline {
@@ -41,7 +45,7 @@ func (n Native) Create(pr Props, store hdf5.Store, opts ...hdf5.FileOption) (Fil
 	if err != nil {
 		return nil, err
 	}
-	return nativeFile{f: f, pl: n.pipeline()}, nil
+	return nativeFile{f: f, pl: n.pipeline(), onClose: n.OnClose}, nil
 }
 
 // Open implements Connector.
@@ -50,15 +54,18 @@ func (n Native) Open(pr Props, store hdf5.Store, opts ...hdf5.FileOption) (File,
 	if err != nil {
 		return nil, err
 	}
-	return nativeFile{f: f, pl: n.pipeline()}, nil
+	return nativeFile{f: f, pl: n.pipeline(), onClose: n.OnClose}, nil
 }
 
 // Wrap implements Connector.
-func (n Native) Wrap(f *hdf5.File) File { return nativeFile{f: f, pl: n.pipeline()} }
+func (n Native) Wrap(f *hdf5.File) File {
+	return nativeFile{f: f, pl: n.pipeline(), onClose: n.OnClose}
+}
 
 type nativeFile struct {
-	f  *hdf5.File
-	pl *ioreq.Pipeline
+	f       *hdf5.File
+	pl      *ioreq.Pipeline
+	onClose func(p *vclock.Proc)
 }
 
 func (nf nativeFile) Root() Group { return nativeGroup{g: nf.f.Root(), pl: nf.pl} }
@@ -78,7 +85,13 @@ func (nf nativeFile) Flush(pr Props) error {
 func (nf nativeFile) Close(pr Props) error {
 	perr := nf.pl.Flush(pr.Proc)
 	cerr := nf.f.Close(pr.TP())
-	return errors.Join(perr, cerr)
+	if err := errors.Join(perr, cerr); err != nil {
+		return err
+	}
+	if nf.onClose != nil {
+		nf.onClose(pr.Proc)
+	}
+	return nil
 }
 
 func (nf nativeFile) Unwrap() *hdf5.File { return nf.f }

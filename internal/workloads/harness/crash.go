@@ -134,6 +134,11 @@ func (ck *Checkpointer) Checkpoint(ctx *core.RankCtx, env *Env, iter int) error 
 			ck.mCommits.Add(1)
 		}
 		ck.mu.Unlock()
+		// The checkpoint's fsync barrier is the commit consistency
+		// model's publish point and every model's durability promise.
+		// Recorded after the flush so a crash between the two merely
+		// weakens the promise, never overstates it.
+		ctx.Sys.Consistency.Commit(ctx.P, iter)
 	}
 	ctx.Comm.Barrier()
 	return nil

@@ -90,17 +90,38 @@ func NewEnv(ctx *core.RankCtx, eng *taskengine.Engine, raw *hdf5.File, opts Opti
 		// lock instead of serializing on one global clock.
 		Clock: ctx.Sys.ClockFor(ctx.Rank),
 	}
+	// The consistency stage sits upstream of the retry stage on both
+	// paths, so one successful execution records exactly one write no
+	// matter how many retries it took. It runs on the executing process:
+	// the rank itself synchronously, the background stream
+	// asynchronously — which is how async hides visibility cost.
+	cs := ctx.Sys.Consistency
+	consStage := cs.Stage(ctx.Rank)
 	syncPL := opts.SyncPipeline
+	var execStages, syncStages []ioreq.Stage
+	if consStage != nil {
+		execStages = append(execStages, consStage)
+		syncStages = append(syncStages, consStage)
+	}
 	if in := ctx.Sys.Faults; in != nil {
 		// A faulted system retries on both paths: the connector's
 		// background executor and (absent a caller-supplied pipeline)
 		// the synchronous route. Assign the interface field only from a
 		// non-nil injector so the nil check inside asyncvol stays valid.
 		avOpts.Faults = in
-		avOpts.ExecStages = []ioreq.Stage{in.RetryStage()}
-		if syncPL == nil {
-			syncPL = ioreq.New(in.RetryStage()).WithMetrics(ctx.Sys.Metrics)
-		}
+		execStages = append(execStages, in.RetryStage())
+		syncStages = append(syncStages, in.RetryStage())
+	}
+	avOpts.ExecStages = execStages
+	if syncPL == nil && len(syncStages) > 0 {
+		syncPL = ioreq.New(syncStages...).WithMetrics(ctx.Sys.Metrics)
+	}
+	if cs != nil {
+		rank := ctx.Rank
+		// Publish points: a drain is the connector's sync barrier
+		// (MPI-IO), a close ends the session (session consistency).
+		avOpts.OnDrained = func(p *vclock.Proc) { cs.RankSync(p, rank) }
+		avOpts.OnClose = func(p *vclock.Proc) { cs.RankClose(p, rank) }
 	}
 	conn := asyncvol.New(eng, fmt.Sprintf("rank%d", ctx.Rank), avOpts)
 	// If the run has a crash schedule, the rank's background stream dies
