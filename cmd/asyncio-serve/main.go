@@ -1,0 +1,83 @@
+// Command asyncio-serve is the campaign service: a long-running daemon
+// that accepts scenario specs over HTTP/JSON, schedules their
+// simulation points across a worker pool, and serves the reports the
+// CLIs produce offline — byte-identical to cmd/asyncio-bench and
+// cmd/asyncio-trace, whether a result comes from a cold worker or the
+// content-addressed cache.
+//
+// Endpoints:
+//
+//	POST /v1/campaigns            submit a spec (JSON body; ?wait=FORMAT blocks for the result)
+//	GET  /v1/campaigns/{id}       campaign status
+//	GET  /v1/campaigns/{id}/events  NDJSON progress stream
+//	GET  /v1/campaigns/{id}/result?format=...  final report
+//	GET  /healthz, /metricz       liveness and self-instrumentation CSV
+//
+// Usage:
+//
+//	asyncio-serve -listen :8080 -workers 4
+//	curl -s -X POST 'localhost:8080/v1/campaigns?wait=table' -d '{"sweep":"fig3a"}'
+//
+// SIGINT/SIGTERM drains gracefully: admission stops (503), queued work
+// finishes (bounded by -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"asyncio/internal/campaign"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", ":8080", "HTTP listen address")
+		workers      = flag.Int("workers", 2, "simulation worker pool size")
+		queue        = flag.Int("queue", 256, "admission queue depth in points (overflow gets 429)")
+		cacheSize    = flag.Int("cache", 1024, "point result cache entries (LRU)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "max time to finish queued work on shutdown")
+	)
+	flag.Parse()
+
+	svc := campaign.NewServer(campaign.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cacheSize,
+	})
+	httpSrv := &http.Server{Addr: *listen, Handler: svc.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "asyncio-serve: listening on %s (%d workers, queue %d, cache %d)\n",
+		*listen, *workers, *queue, *cacheSize)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatalf("%v", err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "asyncio-serve: %v, draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "asyncio-serve: drain: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "asyncio-serve: http shutdown: %v\n", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "asyncio-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+package campaign
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded LRU mapping point cache keys (Spec.PointKey) to
+// their encoded results. Values are immutable once stored: the runner
+// encodes each point deterministically, so a hit is byte-identical to
+// recomputation by construction.
+type Cache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache returns an LRU holding at most max entries (a non-positive
+// max falls back to 1024).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = 1024
+	}
+	return &Cache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value for key and promotes it. Callers must
+// not mutate the returned slice.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entry when
+// the cache is full.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,686 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"asyncio/internal/metrics"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the simulation worker pool size (default 2).
+	Workers int
+	// QueueDepth bounds the admission queue: the total simulation
+	// points queued but not yet dispatched (default 256). A POST whose
+	// uncached points would overflow it is rejected with 429.
+	QueueDepth int
+	// CacheSize bounds the point result LRU (default 1024 entries).
+	CacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	return c
+}
+
+// Event is one progress record of a campaign, streamed as NDJSON from
+// the events endpoint.
+type Event struct {
+	Seq   int    `json:"seq"`
+	Point int    `json:"point"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	Err   string `json:"err,omitempty"`
+}
+
+// Campaign is one admitted scenario: a canonical spec plus the
+// per-point results as they land.
+type Campaign struct {
+	id   string
+	spec *Spec
+
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast on every event append
+	results  [][]byte   // index-ordered point payloads
+	done     int
+	firstErr error
+	events   []Event
+	finished chan struct{} // closed when done == len(results)
+}
+
+func newCampaign(id string, spec *Spec, total int) *Campaign {
+	c := &Campaign{id: id, spec: spec, results: make([][]byte, total), finished: make(chan struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// deliver records point i's result. Safe to call from any worker; the
+// last point closes finished.
+func (c *Campaign) deliver(i int, val []byte, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deliverLocked(i, val, err)
+}
+
+func (c *Campaign) deliverLocked(i int, val []byte, err error) {
+	c.results[i] = val
+	c.done++
+	if err != nil && c.firstErr == nil {
+		c.firstErr = err
+	}
+	ev := Event{Seq: len(c.events), Point: i, Done: c.done, Total: len(c.results)}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	c.events = append(c.events, ev)
+	c.cond.Broadcast()
+	if c.done == len(c.results) {
+		close(c.finished)
+	}
+}
+
+func (c *Campaign) state() string {
+	select {
+	case <-c.finished:
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.firstErr != nil {
+			return "failed"
+		}
+		return "complete"
+	default:
+		return "running"
+	}
+}
+
+// Dispatch is one scheduler decision, recorded for fairness assertions:
+// which tenant's task was handed to a worker, how many tasks that
+// tenant still had queued afterwards, and how many remained in total.
+type Dispatch struct {
+	Tenant  string
+	Pending int
+	Queued  int
+}
+
+// task is one queued simulation point.
+type task struct {
+	key    string
+	tenant string
+}
+
+// flight is the single-flight record of one point being computed: every
+// campaign wanting the same point subscribes instead of re-queueing it.
+type flight struct {
+	spec  *Spec // canonical spec the point is computed under
+	point int
+	subs  []subscriber
+}
+
+type subscriber struct {
+	c     *Campaign
+	point int
+}
+
+// Server is the campaign service. Construct with NewServer, mount
+// Handler on an http.Server, and stop with Shutdown (drain) or Close
+// (abrupt).
+type Server struct {
+	cfg   Config
+	reg   *metrics.Registry
+	cache *Cache
+	start time.Time
+
+	admitted, rejected *metrics.Counter
+	hits, misses       *metrics.Counter
+	served             *metrics.Counter
+	queueDepth         *metrics.Gauge
+	inflight           *metrics.Gauge
+
+	mu        sync.Mutex
+	cond      *sync.Cond // dispatch wakeups: new work, resume, close
+	campaigns map[string]*Campaign
+	tenants   map[string][]task // per-tenant FIFO
+	ring      []string          // round-robin tenant order (first-seen)
+	next      int               // ring cursor
+	flights   map[string]*flight
+	queued    int // total queued tasks across tenants
+	running   int // tasks currently on a worker
+	paused    bool
+	draining  bool
+	closed    bool
+	log       []Dispatch
+
+	wg sync.WaitGroup
+}
+
+// NewServer starts the worker pool and returns the service.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	s := &Server{
+		cfg:       cfg,
+		reg:       metrics.NewRegistryWithNow(func() time.Duration { return time.Since(start) }),
+		cache:     NewCache(cfg.CacheSize),
+		start:     start,
+		campaigns: make(map[string]*Campaign),
+		tenants:   make(map[string][]task),
+		flights:   make(map[string]*flight),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.admitted = s.reg.Counter("campaign.admitted")
+	s.rejected = s.reg.Counter("campaign.rejected")
+	s.hits = s.reg.Counter("campaign.cache.hits")
+	s.misses = s.reg.Counter("campaign.cache.misses")
+	s.served = s.reg.Counter("campaign.points.served")
+	s.queueDepth = s.reg.Gauge("campaign.queue.depth")
+	s.inflight = s.reg.Gauge("campaign.workers.inflight")
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics exposes the self-instrumentation registry (tests assert cache
+// hit ratios and drain invariants against it).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Pause stops dispatching queued work to workers; already-running
+// points finish. A deterministic hook for tests and operators.
+func (s *Server) Pause() {
+	s.mu.Lock()
+	s.paused = true
+	s.mu.Unlock()
+}
+
+// Resume restarts dispatch after Pause.
+func (s *Server) Resume() {
+	s.mu.Lock()
+	s.paused = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// DispatchLog returns a copy of the scheduler's dispatch decisions.
+func (s *Server) DispatchLog() []Dispatch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Dispatch(nil), s.log...)
+}
+
+// Drain stops admission (new POSTs get 503) and waits until every
+// queued and running point has completed or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	for {
+		s.mu.Lock()
+		idle := s.queued == 0 && s.running == 0
+		s.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// Close stops the worker pool without waiting for queued work and
+// blocks until the workers exit. Campaigns with undispatched points
+// never finish; use Shutdown for a clean stop.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Shutdown drains then closes.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.Drain(ctx)
+	s.Close()
+	return err
+}
+
+// worker pulls tasks round-robin across tenants and computes them.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for !s.closed && (s.paused || s.queued == 0) {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		t, ok := s.nextTaskLocked()
+		if !ok {
+			s.mu.Unlock()
+			continue
+		}
+		f := s.flights[t.key]
+		s.running++
+		s.inflight.Set(float64(s.running))
+		s.mu.Unlock()
+
+		val, err := ComputePoint(f.spec, f.point)
+		if err == nil {
+			s.cache.Put(t.key, val)
+		}
+
+		s.mu.Lock()
+		delete(s.flights, t.key)
+		s.running--
+		s.inflight.Set(float64(s.running))
+		s.served.Add(1)
+		subs := f.subs
+		s.mu.Unlock()
+		for _, sub := range subs {
+			sub.c.deliver(sub.point, val, err)
+		}
+	}
+}
+
+// nextTaskLocked pops the next task fairly: round-robin across tenants
+// in first-seen order, FIFO within a tenant. Records the decision.
+func (s *Server) nextTaskLocked() (task, bool) {
+	for j := 0; j < len(s.ring); j++ {
+		name := s.ring[(s.next+j)%len(s.ring)]
+		q := s.tenants[name]
+		if len(q) == 0 {
+			continue
+		}
+		t := q[0]
+		s.tenants[name] = q[1:]
+		s.next = (s.next + j + 1) % len(s.ring)
+		s.queued--
+		s.queueDepth.Set(float64(s.queued))
+		s.log = append(s.log, Dispatch{Tenant: name, Pending: len(q) - 1, Queued: s.queued})
+		return t, true
+	}
+	return task{}, false
+}
+
+// submitResult is what a POST resolves to before any waiting.
+type submitResult struct {
+	c      *Campaign
+	status int // http.StatusAccepted or StatusOK (already known)
+}
+
+var errDraining = errors.New("draining")
+
+// admissionError carries the 429 backpressure decision.
+type admissionError struct{ retryAfter int }
+
+func (e *admissionError) Error() string {
+	return fmt.Sprintf("queue full, retry after %ds", e.retryAfter)
+}
+
+// submit admits one canonical spec: resolves every point against the
+// cache and in-flight work, enqueues the rest (all or nothing), and
+// returns the campaign.
+func (s *Server) submit(spec *Spec) (*submitResult, error) {
+	total, err := spec.PointCount()
+	if err != nil {
+		return nil, &SpecError{Field: "sweep", Msg: err.Error()}
+	}
+	id := spec.ID()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		s.rejected.Add(1)
+		return nil, errDraining
+	}
+	if c, ok := s.campaigns[id]; ok {
+		// Same tenant, same content: the identical campaign. Every
+		// point is already resolved or in flight — all hits, no work.
+		s.admitted.Add(1)
+		s.hits.Add(int64(total))
+		s.tenantServedLocked(spec.Tenant, total)
+		return &submitResult{c: c, status: http.StatusOK}, nil
+	}
+
+	c := newCampaign(id, spec, total)
+	type pending struct {
+		key   string
+		point int
+	}
+	var misses []pending
+	hits := 0
+	for i := 0; i < total; i++ {
+		key := spec.PointKey(i)
+		if val, ok := s.cache.Get(key); ok {
+			c.deliver(i, val, nil)
+			hits++
+			continue
+		}
+		if f, ok := s.flights[key]; ok {
+			// Another campaign is already computing this point: join
+			// its flight. Counted as a hit — no new simulation work.
+			f.subs = append(f.subs, subscriber{c: c, point: i})
+			hits++
+			continue
+		}
+		misses = append(misses, pending{key: key, point: i})
+	}
+	if s.queued+len(misses) > s.cfg.QueueDepth {
+		// All or nothing: reject before registering anything, so a 429
+		// leaves no partial campaign behind.
+		s.rejected.Add(1)
+		retry := 1 + s.queued/(s.cfg.Workers*4)
+		return nil, &admissionError{retryAfter: retry}
+	}
+	s.campaigns[id] = c
+	if _, ok := s.tenants[spec.Tenant]; !ok {
+		s.tenants[spec.Tenant] = nil
+		s.ring = append(s.ring, spec.Tenant)
+	}
+	for _, p := range misses {
+		s.flights[p.key] = &flight{spec: spec, point: p.point, subs: []subscriber{{c: c, point: p.point}}}
+		s.tenants[spec.Tenant] = append(s.tenants[spec.Tenant], task{key: p.key, tenant: spec.Tenant})
+	}
+	s.queued += len(misses)
+	s.queueDepth.Set(float64(s.queued))
+	s.admitted.Add(1)
+	s.hits.Add(int64(hits))
+	s.misses.Add(int64(len(misses)))
+	s.tenantServedLocked(spec.Tenant, total)
+	s.cond.Broadcast()
+	status := http.StatusAccepted
+	if len(misses) == 0 && hits == total {
+		status = http.StatusOK
+	}
+	return &submitResult{c: c, status: status}, nil
+}
+
+// tenantServedLocked credits points requested by a tenant (served from
+// cache or scheduled on its behalf).
+func (s *Server) tenantServedLocked(tenant string, n int) {
+	s.reg.Counter("campaign.tenant.served." + tenant).Add(int64(n))
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metricz", s.handleMetricz)
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/campaigns/{id}/result", s.handleResult)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	s.reg.WriteCSV(w, "asyncio-serve")
+}
+
+// statusJSON is the campaign status wire form.
+type statusJSON struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Tenant string `json:"tenant"`
+	Total  int    `json:"total"`
+	Done   int    `json:"done"`
+	State  string `json:"state"`
+	Error  string `json:"error,omitempty"`
+}
+
+func (c *Campaign) statusJSON() statusJSON {
+	c.mu.Lock()
+	done := c.done
+	ferr := c.firstErr
+	c.mu.Unlock()
+	st := statusJSON{ID: c.id, Kind: c.spec.Kind, Tenant: c.spec.Tenant,
+		Total: len(c.results), Done: done, State: c.state()}
+	if ferr != nil {
+		st.Error = ferr.Error()
+	}
+	return st
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxSpecBytes+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec, err := DecodeSpec(body)
+	if err != nil {
+		var se *SpecError
+		if errors.As(err, &se) {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": se.Msg, "field": se.Field})
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := s.submit(spec)
+	if err != nil {
+		var ae *admissionError
+		switch {
+		case errors.As(err, &ae):
+			w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
+			http.Error(w, ae.Error(), http.StatusTooManyRequests)
+		case errors.Is(err, errDraining):
+			http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		default:
+			var se *SpecError
+			if errors.As(err, &se) {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": se.Msg, "field": se.Field})
+				return
+			}
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	if wait := r.URL.Query().Get("wait"); wait != "" {
+		select {
+		case <-res.c.finished:
+		case <-r.Context().Done():
+			http.Error(w, "client went away", http.StatusRequestTimeout)
+			return
+		}
+		format := wait
+		if format == "1" || format == "true" {
+			format = ""
+		}
+		s.serveResult(w, res.c, format)
+		return
+	}
+	writeJSON(w, res.status, res.c.statusJSON())
+}
+
+func (s *Server) campaignFor(w http.ResponseWriter, r *http.Request) *Campaign {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	c := s.campaigns[id]
+	s.mu.Unlock()
+	if c == nil {
+		http.Error(w, "unknown campaign", http.StatusNotFound)
+		return nil
+	}
+	return c
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c := s.campaignFor(w, r)
+	if c == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, c.statusJSON())
+}
+
+// handleEvents streams the campaign's progress as NDJSON, one event per
+// completed point, and closes when the campaign finishes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	c := s.campaignFor(w, r)
+	if c == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	flusher, _ := w.(http.Flusher)
+	// A cond.Wait cannot watch a context; this watcher turns client
+	// disconnect into a broadcast so the stream loop can re-check.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-r.Context().Done():
+		case <-done:
+		}
+		c.cond.Broadcast()
+	}()
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		c.mu.Lock()
+		for next >= len(c.events) && c.done < len(c.results) && r.Context().Err() == nil {
+			c.cond.Wait()
+		}
+		evs := c.events[next:]
+		next = len(c.events)
+		finished := c.done == len(c.results)
+		c.mu.Unlock()
+		if r.Context().Err() != nil {
+			return
+		}
+		for _, ev := range evs {
+			enc.Encode(ev)
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if finished {
+			return
+		}
+	}
+}
+
+// handleResult blocks until the campaign finishes, then serves its
+// result in the requested format.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	c := s.campaignFor(w, r)
+	if c == nil {
+		return
+	}
+	select {
+	case <-c.finished:
+	case <-r.Context().Done():
+		http.Error(w, "client went away", http.StatusRequestTimeout)
+		return
+	}
+	s.serveResult(w, c, r.URL.Query().Get("format"))
+}
+
+func (s *Server) serveResult(w http.ResponseWriter, c *Campaign, format string) {
+	c.mu.Lock()
+	ferr := c.firstErr
+	payloads := c.results
+	c.mu.Unlock()
+	if ferr != nil {
+		http.Error(w, "campaign failed: "+ferr.Error(), http.StatusInternalServerError)
+		return
+	}
+	body, ctype, err := renderResult(c.spec, payloads, format)
+	if err != nil {
+		var se *SpecError
+		if errors.As(err, &se) {
+			http.Error(w, se.Error(), http.StatusBadRequest)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", ctype)
+	w.Write(body)
+}
+
+// renderResult assembles a finished campaign's payloads into the
+// requested format. Pure: same payloads and format, same bytes.
+func renderResult(spec *Spec, payloads [][]byte, format string) ([]byte, string, error) {
+	const (
+		textType = "text/plain; charset=utf-8"
+		jsonType = "application/json; charset=utf-8"
+		csvType  = "text/csv; charset=utf-8"
+	)
+	if spec.Kind == "sweep" {
+		switch format {
+		case "", "table":
+			b, err := AssembleSweepTable(spec, payloads)
+			return b, textType, err
+		case "json":
+			b, err := sweepPointsJSON(spec, payloads)
+			return b, jsonType, err
+		case "csv":
+			b, err := sweepPointsCSV(payloads)
+			return b, csvType, err
+		}
+		return nil, "", specErrf("format", "unknown sweep format %q (want table, json, or csv)", format)
+	}
+	bundle, err := DecodeBundle(payloads[0])
+	if err != nil {
+		return nil, "", err
+	}
+	switch format {
+	case "", "summary":
+		return bundle[ArtifactSummary], textType, nil
+	case "trace":
+		return bundle[ArtifactTrace], csvType, nil
+	case "metrics":
+		return bundle[ArtifactMetrics], csvType, nil
+	case "perfetto":
+		return bundle[ArtifactPerfetto], jsonType, nil
+	case "critpath":
+		if b, ok := bundle[ArtifactCritPath]; ok {
+			return b, jsonType, nil
+		}
+		return nil, "", errors.New("campaign: run carried no critical-path profile")
+	case "bundle":
+		return payloads[0], jsonType, nil
+	}
+	return nil, "", specErrf("format", "unknown run format %q (want summary, trace, metrics, perfetto, critpath, or bundle)", format)
+}

@@ -96,13 +96,7 @@ func (s *Set) ConsistencySpec() (*pfs.ConsistencySpec, error) {
 // DurabilityConfig resolves -durability/-durability-seed into the
 // write-back cache model crash runs tear on power loss.
 func (s *Set) DurabilityConfig() (pfs.DurabilityConfig, error) {
-	switch s.Durability {
-	case "gpfs":
-		return pfs.GPFSDurability(s.DurabilitySeed), nil
-	case "lustre":
-		return pfs.LustreDurability(s.DurabilitySeed, 8), nil
-	}
-	return pfs.DurabilityConfig{}, fmt.Errorf("unknown durability %q (want gpfs or lustre)", s.Durability)
+	return durabilityConfig(s.Durability, s.DurabilitySeed)
 }
 
 // ExportProfile writes the requested critical-path artifacts: the

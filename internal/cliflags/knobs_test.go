@@ -1,0 +1,71 @@
+package cliflags
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestKnobsParseDefaults pins the zero value to the flag defaults:
+// no faults, implicit consistency, GPFS durability at seed 1, one shard.
+func TestKnobsParseDefaults(t *testing.T) {
+	p, err := Knobs{}.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Faults != nil {
+		t.Error("zero Knobs produced a fault schedule")
+	}
+	if p.Consistency != nil {
+		t.Error("zero Knobs produced a consistency spec")
+	}
+	if p.Shards.Auto || p.Shards.N != 1 {
+		t.Errorf("zero Knobs shards = %+v, want fixed 1", p.Shards)
+	}
+}
+
+// TestKnobsParseCanonicalizes checks the String round-trips the
+// campaign service relies on for spec normalization.
+func TestKnobsParseCanonicalizes(t *testing.T) {
+	p, err := Knobs{
+		Faults:      "crashrank=3@95s",
+		Consistency: "session",
+		Durability:  "lustre",
+		Shards:      " 2:STRIPE ",
+	}.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Faults == nil || p.Faults.String() == "" {
+		t.Error("fault schedule did not parse")
+	}
+	if p.Consistency == nil || !strings.Contains(p.Consistency.String(), "session") {
+		t.Errorf("consistency spec = %v", p.Consistency)
+	}
+	if got := p.Shards.String(); got != "2:stripe" {
+		t.Errorf("shards canonical form = %q, want 2:stripe", got)
+	}
+}
+
+// TestKnobsParseErrors ensures each knob rejects garbage with an error
+// naming the knob, mirroring the CLI flag messages.
+func TestKnobsParseErrors(t *testing.T) {
+	cases := []struct {
+		k    Knobs
+		want string
+	}{
+		{Knobs{Faults: "nonsense"}, "faults"},
+		{Knobs{Consistency: "psychic"}, "consistency"},
+		{Knobs{Durability: "ramdisk"}, "durability"},
+		{Knobs{Shards: "many"}, "shards"},
+	}
+	for _, c := range cases {
+		_, err := c.k.Parse()
+		if err == nil {
+			t.Errorf("%+v: no error", c.k)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), c.want+":") {
+			t.Errorf("%+v: error %q does not name knob %q", c.k, err, c.want)
+		}
+	}
+}

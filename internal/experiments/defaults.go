@@ -18,7 +18,9 @@ func SetCritPathProfiling(on bool) { defaultCritPath = on }
 
 // critOpts returns the extra system options critical-path profiling
 // requires (none when it is off). Each call hands out a fresh recorder:
-// a recorder serves exactly one run.
+// a recorder serves exactly one run. Generators that assemble their
+// options manually (crash trials) use this; the figure sweeps go
+// through RunKnobs instead.
 func critOpts() []systems.Option {
 	if !defaultCritPath {
 		return nil
@@ -35,17 +37,6 @@ var defaultConsistency *pfs.ConsistencySpec
 // SetDefaultConsistency installs the consistency model every generated
 // system runs under; nil restores the historical implicit model.
 func SetDefaultConsistency(sp *pfs.ConsistencySpec) { defaultConsistency = sp }
-
-// consistencyOpts returns the extra system options the default
-// consistency model requires (none when it is off). Each call hands
-// out a fresh Consistency: one serves exactly one run.
-func consistencyOpts() []systems.Option {
-	if defaultConsistency == nil {
-		return nil
-	}
-	sp := *defaultConsistency
-	return []systems.Option{systems.WithConsistency(pfs.NewConsistency(&sp))}
-}
 
 // defaultDurability, when non-nil, replaces the stock GPFS write-back
 // model on crash trials whose config does not pin one.

@@ -31,15 +31,6 @@ func SetDefaultFaults(spec string) error {
 	return nil
 }
 
-// faultOpts returns the extra system options the default fault schedule
-// requires (none when no schedule is installed).
-func faultOpts() []systems.Option {
-	if defaultFaultSpec == nil {
-		return nil
-	}
-	return []systems.Option{systems.WithFaults(faults.FromSpec(defaultFaultSpec))}
-}
-
 // FaultSweep measures how injected storage faults erode the paper's
 // headline async-vs-sync comparison: VPIC-IO on Summit under increasing
 // transient-error rates on every storage target, with the retry stage

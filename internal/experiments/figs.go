@@ -47,15 +47,12 @@ func Registry() map[string]Generator {
 }
 
 // newSystem builds a fresh clock+system for one run, attaching the
-// process-wide default fault schedule and critical-path profiling when
-// they are installed.
+// process-wide default fault schedule, consistency model, critical-path
+// profiling, and shard setting when they are installed. Callers that
+// cannot use the globals (concurrent differently-configured runs) build
+// systems through an explicit RunKnobs instead.
 func newSystem(name string, nodes int, opts ...systems.Option) *systems.System {
-	clk, shardOpts := newClock(Shards())
-	opts = append(append(append(append(faultOpts(), critOpts()...), consistencyOpts()...), shardOpts...), opts...)
-	if name == "summit" {
-		return systems.Summit(clk, nodes, opts...)
-	}
-	return systems.CoriHaswell(clk, nodes, opts...)
+	return snapshotKnobs().newSystem(name, nodes, opts...)
 }
 
 // runFn executes one workload run on a fresh system and returns its
@@ -72,42 +69,76 @@ type sweepPoint struct {
 	syncEst, asyncEst float64 // model estimates from per-run history
 }
 
-// sweep measures both modes across node counts. Every (nodes, mode)
-// pair is an independent simulation on its own clock and system, so the
-// pairs execute through RunParallel with each result stored at its
-// index — the collected points are identical serial or parallel.
-func sweep(sysName string, nodeCounts []int, run runFn) ([]sweepPoint, error) {
-	type half struct {
-		ranks     int
-		peak, est float64
+// SweepPoint is one simulated (nodes, mode) half of a sweep figure: the
+// measurements SimulateSweepPoint extracts from a single independent
+// run. Point index i maps to node count i/2 with sync (even i) before
+// async (odd i), so a figure's point list is a stable, enumerable unit
+// of work — the campaign service content-hashes and memoizes exactly
+// these.
+type SweepPoint struct {
+	Ranks     int
+	Peak, Est float64
+}
+
+// SweepPointCount returns how many independent points the sweep figure
+// id simulates at the given scale (two per node count: sync and async).
+func SweepPointCount(id string, scale Scale) (int, error) {
+	sp, ok := sweepSpecs()[id]
+	if !ok {
+		return 0, fmt.Errorf("experiments: %q is not a sweep figure (see SweepIDs)", id)
 	}
-	halves := make([]half, 2*len(nodeCounts))
-	err := RunParallel(len(halves), func(i int) error {
-		nodes := nodeCounts[i/2]
-		mode := core.ForceSync
-		if i%2 == 1 {
-			mode = core.ForceAsync
-		}
-		rep, err := run(sysName, nodes, mode)
-		if err != nil {
-			return fmt.Errorf("%s %d nodes %v: %w", sysName, nodes, mode, err)
-		}
-		halves[i] = half{ranks: rep.Run.Ranks, peak: rep.Run.PeakRate(), est: stats.Mean(rep.Run.Rates())}
-		return nil
-	})
+	return 2 * len(sp.nodes(scale)), nil
+}
+
+// SimulateSweepPoint runs exactly one (nodes, mode) half of a sweep
+// figure under the given knobs (nil = the process-wide defaults) and
+// returns its measurements. Each point is an independent simulation on
+// its own clock and system, so any subset of points can be computed on
+// any worker — or served from a cache — and reassembled with
+// AssembleSweepPoints into output byte-identical to the full sweep.
+func SimulateSweepPoint(id string, scale Scale, i int, k *RunKnobs) (SweepPoint, error) {
+	sp, ok := sweepSpecs()[id]
+	if !ok {
+		return SweepPoint{}, fmt.Errorf("experiments: %q is not a sweep figure (see SweepIDs)", id)
+	}
+	nodeCounts := sp.nodes(scale)
+	if i < 0 || i >= 2*len(nodeCounts) {
+		return SweepPoint{}, fmt.Errorf("experiments: %s point %d out of range [0,%d)", id, i, 2*len(nodeCounts))
+	}
+	nodes := nodeCounts[i/2]
+	mode := core.ForceSync
+	if i%2 == 1 {
+		mode = core.ForceAsync
+	}
+	rep, err := sp.run(scale, k.orDefaults())(sp.sys, nodes, mode)
 	if err != nil {
-		return nil, err
+		return SweepPoint{}, fmt.Errorf("%s %d nodes %v: %w", sp.sys, nodes, mode, err)
 	}
-	out := make([]sweepPoint, len(nodeCounts))
+	return SweepPoint{Ranks: rep.Run.Ranks, Peak: rep.Run.PeakRate(), Est: stats.Mean(rep.Run.Rates())}, nil
+}
+
+// AssembleSweepPoints packs index-ordered per-point results (as produced
+// by SimulateSweepPoint) into the SweepData AssembleSweep fits and
+// renders. The halves must cover every point exactly once.
+func AssembleSweepPoints(id string, scale Scale, halves []SweepPoint) (*SweepData, error) {
+	sp, ok := sweepSpecs()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: %q is not a sweep figure (see SweepIDs)", id)
+	}
+	nodeCounts := sp.nodes(scale)
+	if len(halves) != 2*len(nodeCounts) {
+		return nil, fmt.Errorf("experiments: %s expects %d points, got %d", id, 2*len(nodeCounts), len(halves))
+	}
+	pts := make([]sweepPoint, len(nodeCounts))
 	for i, nodes := range nodeCounts {
 		s, a := halves[2*i], halves[2*i+1]
-		out[i] = sweepPoint{
-			nodes: nodes, ranks: s.ranks,
-			sync: s.peak, syncEst: s.est,
-			async: a.peak, asyncEst: a.est,
+		pts[i] = sweepPoint{
+			nodes: nodes, ranks: s.Ranks,
+			sync: s.Peak, syncEst: s.Est,
+			async: a.Peak, asyncEst: a.Est,
 		}
 	}
-	return out, nil
+	return &SweepData{ID: id, pts: pts}, nil
 }
 
 // estKind selects how a figure's dotted estimate lines are derived.
@@ -189,7 +220,7 @@ type sweepSpec struct {
 	title string
 	sys   string
 	nodes func(Scale) []int
-	run   func(Scale) runFn
+	run   func(Scale, *RunKnobs) runFn
 	kind  estKind
 	notes []string
 }
@@ -197,24 +228,24 @@ type sweepSpec struct {
 func summitNodes(s Scale) []int { return s.SummitNodes }
 func coriNodes(s Scale) []int   { return s.CoriNodes }
 
-func vpicRun(scale Scale) runFn {
+func vpicRun(scale Scale, k *RunKnobs) runFn {
 	return func(sn string, n int, mode core.Mode) (*core.Report, error) {
-		rep, _, err := vpicio.Run(newSystem(sn, n), vpicio.Config{
+		rep, _, err := vpicio.Run(k.newSystem(sn, n), vpicio.Config{
 			Steps: scale.Steps, ComputeTime: 30 * time.Second, Mode: mode,
 		})
 		return rep, err
 	}
 }
 
-func bdcatsRun(scale Scale) runFn {
+func bdcatsRun(scale Scale, k *RunKnobs) runFn {
 	return func(sn string, n int, mode core.Mode) (*core.Report, error) {
-		return bdcats.Run(newSystem(sn, n), bdcats.Config{
+		return bdcats.Run(k.newSystem(sn, n), bdcats.Config{
 			Steps: scale.Steps, ComputeTime: 30 * time.Second, Mode: mode,
 		}, nil)
 	}
 }
 
-func nyxRun(scale Scale, large bool) runFn {
+func nyxRun(scale Scale, k *RunKnobs, large bool) runFn {
 	return func(sn string, n int, mode core.Mode) (*core.Report, error) {
 		cfg := nyx.SmallConfig()
 		if large {
@@ -223,13 +254,13 @@ func nyxRun(scale Scale, large bool) runFn {
 		cfg.Plotfiles = scale.Steps
 		cfg.TimePerStep = 2 * time.Second
 		cfg.Mode = mode
-		return nyx.Run(newSystem(sn, n), cfg)
+		return nyx.Run(k.newSystem(sn, n), cfg)
 	}
 }
 
-func castroRun(scale Scale) runFn {
+func castroRun(scale Scale, k *RunKnobs) runFn {
 	return func(sn string, n int, mode core.Mode) (*core.Report, error) {
-		return castro.Run(newSystem(sn, n), castro.Config{
+		return castro.Run(k.newSystem(sn, n), castro.Config{
 			Checkpoints: scale.Steps, ComputeTime: 25 * time.Second, Mode: mode,
 		})
 	}
@@ -260,14 +291,14 @@ func sweepSpecs() map[string]sweepSpec {
 		"fig4a": {
 			title: "Nyx (large, 2048³) plotfile aggregate bandwidth, Summit (strong scaling)",
 			sys:   "summit", nodes: summitNodes,
-			run:   func(s Scale) runFn { return nyxRun(s, true) },
+			run:   func(s Scale, k *RunKnobs) runFn { return nyxRun(s, k, true) },
 			kind:  estHistory,
 			notes: []string{"plotfile every 50 steps; per-rank data shrinks with rank count"},
 		},
 		"fig4b": {
 			title: "Nyx (small, 256³) plotfile aggregate bandwidth, Cori-Haswell (strong scaling)",
 			sys:   "cori", nodes: coriNodes,
-			run:   func(s Scale) runFn { return nyxRun(s, false) },
+			run:   func(s Scale, k *RunKnobs) runFn { return nyxRun(s, k, false) },
 			kind:  estHistory,
 			notes: []string{"small per-rank requests keep sync poor and cap the async staging rate (§V-A3)"},
 		},
@@ -284,9 +315,9 @@ func sweepSpecs() map[string]sweepSpec {
 		"fig5": {
 			title: "Cosmoflow batch-read aggregate bandwidth, Summit",
 			sys:   "summit", nodes: summitNodes,
-			run: func(scale Scale) runFn {
+			run: func(scale Scale, k *RunKnobs) runFn {
 				return func(sn string, n int, mode core.Mode) (*core.Report, error) {
-					return cosmoflow.Run(newSystem(sn, n), cosmoflow.Config{
+					return cosmoflow.Run(k.newSystem(sn, n), cosmoflow.Config{
 						Epochs: 1, StepsPerEpoch: scale.Steps + 1,
 						TrainTime: 60 * time.Second, Mode: mode,
 					})
@@ -298,9 +329,9 @@ func sweepSpecs() map[string]sweepSpec {
 		"fig6": {
 			title: "EQSIM checkpoint aggregate bandwidth, Summit (strong scaling)",
 			sys:   "summit", nodes: summitNodes,
-			run: func(scale Scale) runFn {
+			run: func(scale Scale, k *RunKnobs) runFn {
 				return func(sn string, n int, mode core.Mode) (*core.Report, error) {
-					return eqsim.Run(newSystem(sn, n), eqsim.Config{
+					return eqsim.Run(k.newSystem(sn, n), eqsim.Config{
 						Checkpoints: scale.Steps, Mode: mode,
 					})
 				}
@@ -332,17 +363,28 @@ func SweepIDs() []string {
 }
 
 // SimulateSweep runs only the simulations of a sweep figure (in
-// parallel across points) and returns the collected points.
+// parallel across points, under the process-wide default knobs read
+// once up front) and returns the collected points. Every point is an
+// independent simulation on its own clock and system, so the points
+// fan out through RunParallel with each result stored at its index —
+// the collected data is identical serial or parallel, and identical to
+// computing the points one at a time through SimulateSweepPoint.
 func SimulateSweep(id string, scale Scale) (*SweepData, error) {
-	sp, ok := sweepSpecs()[id]
-	if !ok {
-		return nil, fmt.Errorf("experiments: %q is not a sweep figure (see SweepIDs)", id)
-	}
-	pts, err := sweep(sp.sys, sp.nodes(scale), sp.run(scale))
+	n, err := SweepPointCount(id, scale)
 	if err != nil {
 		return nil, err
 	}
-	return &SweepData{ID: id, pts: pts}, nil
+	k := snapshotKnobs()
+	halves := make([]SweepPoint, n)
+	err = RunParallel(n, func(i int) error {
+		p, perr := SimulateSweepPoint(id, scale, i, k)
+		halves[i] = p
+		return perr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return AssembleSweepPoints(id, scale, halves)
 }
 
 // AssembleSweep fits the figure's estimate lines over previously

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"asyncio/internal/critpath"
+	"asyncio/internal/faults"
+	"asyncio/internal/pfs"
+	"asyncio/internal/shard"
+	"asyncio/internal/systems"
+	"asyncio/internal/vclock"
+)
+
+// RunKnobs bundles the per-run configuration the CLIs historically
+// installed through process-wide setters (SetDefaultFaults,
+// SetDefaultConsistency, SetCritPathProfiling, SetShards): the fault
+// schedule, the PFS consistency model, critical-path recording, and
+// intra-run engine sharding. The global setters still exist for the
+// flag-driven CLIs, but callers that execute many differently-configured
+// runs concurrently (the campaign service schedules points from separate
+// campaigns onto one worker pool) pass explicit knobs instead, so
+// concurrent points never race on — or observe each other's — globals.
+//
+// The zero value is the default configuration: no faults, the historical
+// implicit consistency model, no profiling, the serial engine.
+type RunKnobs struct {
+	// Faults, when non-nil, attaches a fresh injector built from this
+	// schedule to every system (an injector serves exactly one run).
+	Faults *faults.Spec
+	// Consistency, when non-nil, attaches a fresh consistency model
+	// built from a copy of this spec (one model serves exactly one run).
+	Consistency *pfs.ConsistencySpec
+	// CritPath attaches a fresh critical-path recorder to every system.
+	CritPath bool
+	// Shards is the intra-run engine shard count; <= 1 is the serial
+	// engine. Sharding never changes simulated output, only wall speed.
+	Shards int
+	// ShardPolicy is the rank-assignment policy for sharded runs
+	// (shard.PolicyBlock or shard.PolicyStripe; "" = block).
+	ShardPolicy string
+}
+
+// snapshotKnobs captures the current process-wide defaults as explicit
+// knobs, so a sweep reads the globals exactly once.
+func snapshotKnobs() *RunKnobs {
+	return &RunKnobs{
+		Faults:      defaultFaultSpec,
+		Consistency: defaultConsistency,
+		CritPath:    defaultCritPath,
+		Shards:      Shards(),
+		ShardPolicy: ShardPolicy(),
+	}
+}
+
+// orDefaults resolves a nil receiver to the process-wide defaults.
+func (k *RunKnobs) orDefaults() *RunKnobs {
+	if k == nil {
+		return snapshotKnobs()
+	}
+	return k
+}
+
+// sysOpts builds the per-run system options these knobs require. Every
+// call hands out fresh run-scoped state (injector, consistency model,
+// recorder): each serves exactly one run.
+func (k *RunKnobs) sysOpts() []systems.Option {
+	var opts []systems.Option
+	if k.Faults != nil {
+		opts = append(opts, systems.WithFaults(faults.FromSpec(k.Faults)))
+	}
+	if k.CritPath {
+		opts = append(opts, systems.WithCritPath(critpath.NewRecorder()))
+	}
+	if k.Consistency != nil {
+		sp := *k.Consistency
+		opts = append(opts, systems.WithConsistency(pfs.NewConsistency(&sp)))
+	}
+	return opts
+}
+
+// newClock builds one run's engine at the knobs' shard setting: a serial
+// clock, or shard 0 of a fresh coordinator plus the sharding option for
+// the system constructor.
+func (k *RunKnobs) newClock() (*vclock.Clock, []systems.Option) {
+	if k.Shards <= 1 {
+		return vclock.New(), nil
+	}
+	co := vclock.NewSharded(k.Shards)
+	policy := k.ShardPolicy
+	if policy == "" {
+		policy = shard.PolicyBlock
+	}
+	return co.Clock(0), []systems.Option{systems.WithSharding(co, policy)}
+}
+
+// newSystem builds a fresh clock+system for one run under these knobs.
+// Option order matches the historical newSystem exactly (faults, crit,
+// consistency, sharding, then caller extras), so the global-default path
+// stays byte-identical.
+func (k *RunKnobs) newSystem(name string, nodes int, opts ...systems.Option) *systems.System {
+	clk, shardOpts := k.newClock()
+	opts = append(append(k.sysOpts(), shardOpts...), opts...)
+	if name == "summit" {
+		return systems.Summit(clk, nodes, opts...)
+	}
+	return systems.CoriHaswell(clk, nodes, opts...)
+}

@@ -59,6 +59,11 @@ type Sample struct {
 // with NewRegistry; the zero value and nil are usable as "no metrics".
 type Registry struct {
 	clk *vclock.Clock
+	// nowFn, when non-nil, replaces clk as the time source. Services
+	// that live on the wall clock rather than a simulation's virtual
+	// clock (cmd/asyncio-serve instruments itself with a registry)
+	// construct with NewRegistryWithNow.
+	nowFn func() time.Duration
 
 	mu     sync.Mutex
 	series bool
@@ -124,9 +129,27 @@ func (r *Registry) SeriesEnabled() bool {
 	return r.series
 }
 
+// NewRegistryWithNow returns a registry stamping observations with the
+// given time source instead of a virtual clock — for long-running
+// services that instrument themselves with the same counter/gauge/
+// histogram substrate the simulator uses, but live on wall time.
+// Typical use: a monotonic offset since process start, so exports stay
+// meaningful without depending on absolute dates.
+func NewRegistryWithNow(now func() time.Duration) *Registry {
+	r := NewRegistry(nil)
+	r.nowFn = now
+	return r
+}
+
 // now returns the registry's virtual time (0 for a nil registry).
 func (r *Registry) now() time.Duration {
-	if r == nil || r.clk == nil {
+	if r == nil {
+		return 0
+	}
+	if r.nowFn != nil {
+		return r.nowFn()
+	}
+	if r.clk == nil {
 		return 0
 	}
 	return r.clk.Now()

@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRegistryWithNow pins the wall-time registry variant the campaign
+// service self-instruments with: observations are stamped by the
+// injected time source instead of a virtual clock, and the CSV export
+// works without any simulation attached.
+func TestRegistryWithNow(t *testing.T) {
+	var now time.Duration
+	r := NewRegistryWithNow(func() time.Duration { return now })
+	r.EnableSeries()
+
+	g := r.Gauge("queue.depth")
+	now = 5 * time.Second
+	g.Set(3)
+	now = 9 * time.Second
+	g.Set(1)
+
+	if got := r.Now(); got != 9*time.Second {
+		t.Errorf("Now() = %v, want 9s", got)
+	}
+	series := g.Series()
+	if len(series) != 2 {
+		t.Fatalf("series has %d points, want 2", len(series))
+	}
+	if series[0].At != 5*time.Second || series[1].At != 9*time.Second {
+		t.Errorf("series timestamps %v, %v: want 5s, 9s", series[0].At, series[1].At)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "queue.depth") {
+		t.Errorf("CSV export missing gauge:\n%s", buf.String())
+	}
+}
