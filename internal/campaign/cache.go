@@ -10,10 +10,11 @@ import (
 // encodes each point deterministically, so a hit is byte-identical to
 // recomputation by construction.
 type Cache struct {
-	mu  sync.Mutex
-	max int
-	ll  *list.List // front = most recently used
-	m   map[string]*list.Element
+	mu       sync.Mutex
+	max      int
+	ll       *list.List // front = most recently used
+	m        map[string]*list.Element
+	fallback func(string) ([]byte, bool)
 }
 
 type cacheEntry struct {
@@ -30,17 +31,37 @@ func NewCache(max int) *Cache {
 	return &Cache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
-// Get returns the cached value for key and promotes it. Callers must
-// not mutate the returned slice.
+// SetFallback installs a second-level lookup consulted on LRU miss —
+// the durable point store's read path. A fallback hit is promoted into
+// the LRU so repeat reads stay in memory. Call before serving.
+func (c *Cache) SetFallback(fetch func(string) ([]byte, bool)) {
+	c.mu.Lock()
+	c.fallback = fetch
+	c.mu.Unlock()
+}
+
+// Get returns the cached value for key and promotes it, consulting the
+// fallback on a miss. Callers must not mutate the returned slice.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.m[key]
+	if ok {
+		c.ll.MoveToFront(el)
+		val := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return val, true
+	}
+	fetch := c.fallback
+	c.mu.Unlock()
+	if fetch == nil {
+		return nil, false
+	}
+	val, ok := fetch(key)
 	if !ok {
 		return nil, false
 	}
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	c.Put(key, val)
+	return val, true
 }
 
 // Put stores val under key, evicting the least recently used entry when

@@ -1,0 +1,282 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"asyncio/internal/campaign/store"
+)
+
+var refOnce struct {
+	sync.Once
+	spec     *Spec
+	payloads [][]byte
+	table    []byte
+	err      error
+}
+
+// refSweep computes the fig3a reference once per process: the canonical
+// spec, its per-point payloads, and the assembled table the service
+// must serve byte-identically no matter what happened to its store.
+func refSweep(t *testing.T) (*Spec, [][]byte, []byte) {
+	t.Helper()
+	refOnce.Do(func() {
+		spec, err := DecodeSpec([]byte(fig3aSpec))
+		if err != nil {
+			refOnce.err = err
+			return
+		}
+		total, err := spec.PointCount()
+		if err != nil {
+			refOnce.err = err
+			return
+		}
+		payloads := make([][]byte, total)
+		for i := 0; i < total; i++ {
+			if payloads[i], err = ComputePoint(spec, i); err != nil {
+				refOnce.err = err
+				return
+			}
+		}
+		table, err := AssembleSweepTable(spec, payloads)
+		if err != nil {
+			refOnce.err = err
+			return
+		}
+		refOnce.spec, refOnce.payloads, refOnce.table = spec, payloads, table
+	})
+	if refOnce.err != nil {
+		t.Fatal(refOnce.err)
+	}
+	return refOnce.spec, refOnce.payloads, refOnce.table
+}
+
+func storeOpts(dir string) store.Options {
+	return store.Options{Dir: dir, FlushEvery: time.Hour, Logf: func(string, ...any) {}}
+}
+
+// seedStore writes the reference payloads into a fresh store at dir and
+// closes it — the durable state a previous daemon left behind.
+func seedStore(t *testing.T, dir string, spec *Spec, payloads [][]byte, opts store.Options) {
+	t.Helper()
+	st, rep, err := store.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("seed store not clean: %s", rep.Summary())
+	}
+	for i, p := range payloads {
+		if err := st.Put(spec.PointKey(i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreCrashRestartByteIdentical is the deterministic heart of the
+// crash contract: a daemon computes a sweep, dies without warning
+// (Abandon — no final flush), and its successor serves the identical
+// bytes from the store without recomputing a single point.
+func TestStoreCrashRestartByteIdentical(t *testing.T) {
+	spec, _, want := refSweep(t)
+	_ = spec
+	dir := t.TempDir()
+
+	st1, _, err := store.Open(storeOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1, ts1 := startService(t, Config{Workers: 4, Store: st1})
+	code, _, first := post(t, ts1, "/v1/campaigns?wait=table", fig3aSpec)
+	if code != http.StatusOK {
+		t.Fatalf("first daemon: status %d: %s", code, first)
+	}
+	if !bytes.Equal(first, want) {
+		t.Fatal("first daemon's table drifted from the CLI reference")
+	}
+	// The worker writes through to the store write-behind; make the
+	// writes durable, then crash without the graceful close.
+	if err := st1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	svc1.Close()
+	ts1.Close()
+	st1.Abandon()
+
+	st2, rep, err := store.Open(storeOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st2.Close() })
+	if !rep.Clean() || rep.Points == 0 {
+		t.Fatalf("restart recovery: %s", rep.Summary())
+	}
+	// CacheSize 1 forces nearly every point through the store fallback.
+	svc2, ts2 := startService(t, Config{Workers: 4, Store: st2, StoreRecovery: rep, CacheSize: 1})
+	code, second := 0, []byte(nil)
+	code, _, second = post(t, ts2, "/v1/campaigns?wait=table", fig3aSpec)
+	if code != http.StatusOK {
+		t.Fatalf("second daemon: status %d: %s", code, second)
+	}
+	if !bytes.Equal(second, want) {
+		t.Fatal("recovered daemon served different bytes than the crashed one")
+	}
+	if hits := counter(t, svc2, "campaign.store.hits"); hits == 0 {
+		t.Error("second daemon never hit the store — recovery was recomputation in disguise")
+	}
+	if misses := counter(t, svc2, "campaign.cache.misses"); misses != 0 {
+		t.Errorf("second daemon recomputed %d points despite a full store", misses)
+	}
+
+	// /readyz reflects the recovered store.
+	code, ready := get(t, ts2, "/readyz")
+	if code != http.StatusOK || !bytes.Contains(ready, []byte(`"store"`)) ||
+		!bytes.Contains(ready, []byte(`"recovery_clean":true`)) {
+		t.Errorf("readyz after recovery: %d %s", code, ready)
+	}
+}
+
+// TestStoreTornTailRecompute: a torn final record (the literal kill -9
+// shape) is quarantined, and the daemon transparently recomputes the
+// lost point — served bytes identical, typed accounting in the report.
+func TestStoreTornTailRecompute(t *testing.T) {
+	spec, payloads, want := refSweep(t)
+	dir := t.TempDir()
+	seedStore(t, dir, spec, payloads, storeOpts(dir))
+
+	// Tear the tail of the last (only) segment.
+	segs, err := filepath.Glob(filepath.Join(dir, "points-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	last := segs[len(segs)-1]
+	info, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	st, rep, err := store.Open(storeOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if len(rep.Quarantined) != 1 || !rep.Quarantined[0].Tail {
+		t.Fatalf("torn tail verdict: %s", rep.Summary())
+	}
+	if rep.Points != len(payloads)-1 {
+		t.Fatalf("recovered %d points, want %d", rep.Points, len(payloads)-1)
+	}
+
+	svc, ts := startService(t, Config{Workers: 2, Store: st, StoreRecovery: rep, CacheSize: 1})
+	code, _, got := post(t, ts, "/v1/campaigns?wait=table", fig3aSpec)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("served table differs after torn-tail recovery + recompute")
+	}
+	if misses := counter(t, svc, "campaign.cache.misses"); misses != 1 {
+		t.Errorf("recomputed %d points, want exactly the 1 quarantined one", misses)
+	}
+	// readyz reports the dirty recovery honestly.
+	if _, ready := get(t, ts, "/readyz"); !bytes.Contains(ready, []byte(`"recovery_clean":false`)) {
+		t.Errorf("readyz hides the quarantine: %s", ready)
+	}
+}
+
+// TestServiceCrashChaos is the service-level kill-the-daemon harness:
+// 100+ seeded trials, each staging a store a crashed daemon left behind
+// — intact, torn, bit-flipped, or missing a whole segment — and
+// asserting the restarted service serves the byte-identical table
+// every single time, with any corrupt record quarantined at scan time
+// (never discovered at read time).
+func TestServiceCrashChaos(t *testing.T) {
+	const trials = 100
+	spec, payloads, want := refSweep(t)
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("seed%03d", trial), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(trial)))
+			dir := t.TempDir()
+			opts := storeOpts(dir)
+			// Small segments force a multi-segment store, so damaging or
+			// deleting one file loses a slice of the points, not all of
+			// them — the recompute path is exercised cheaply every trial.
+			opts.SegmentBytes = int64(60 + rng.Intn(200))
+			opts.CompactMinDead = 1 << 40
+			seedStore(t, dir, spec, payloads, opts)
+
+			segs, err := filepath.Glob(filepath.Join(dir, "points-*.seg"))
+			if err != nil || len(segs) == 0 {
+				t.Fatalf("no segments: %v", err)
+			}
+			victim := segs[rng.Intn(len(segs))]
+			switch rng.Intn(4) {
+			case 0: // clean restart
+			case 1: // torn write
+				b, err := os.ReadFile(victim)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(b) > 0 {
+					if err := os.Truncate(victim, int64(rng.Intn(len(b)))); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 2: // bit rot
+				b, err := os.ReadFile(victim)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(b) > 0 {
+					b[rng.Intn(len(b))] ^= byte(1 + rng.Intn(255))
+					if err := os.WriteFile(victim, b, 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 3: // a whole segment vanished
+				if err := os.Remove(victim); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			st, rep, err := store.Open(opts)
+			if err != nil {
+				t.Fatalf("seed %d: reopen: %v", trial, err)
+			}
+			t.Cleanup(func() { st.Close() })
+			svc, ts := startService(t, Config{Workers: 2, Store: st, StoreRecovery: rep, CacheSize: 2})
+			code, _, got := post(t, ts, "/v1/campaigns?wait=table", fig3aSpec)
+			if code != http.StatusOK {
+				t.Fatalf("seed %d: status %d: %s", trial, code, got)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("seed %d: served table differs from reference after recovery (%s)",
+					trial, rep.Summary())
+			}
+			// Zero unquarantined corrupt records: anything damaged was
+			// caught by the scan, so the read path never sees it.
+			if re := counter(t, svc, "campaign.store.read.errors"); re != 0 {
+				t.Fatalf("seed %d: %d read-time corruption errors — scan let damage through",
+					trial, re)
+			}
+		})
+	}
+}

@@ -104,6 +104,21 @@ func decodeSweepPoint(b []byte) (experiments.SweepPoint, error) {
 	return p, nil
 }
 
+// ValidatePointPayload checks that b parses as some point result — a
+// sweep point or a run bundle. The durable store's read path uses it as
+// a belt-and-braces check on top of the frame checksum: a record whose
+// frame verifies but whose payload no longer parses is treated as a
+// miss and recomputed, never served.
+func ValidatePointPayload(b []byte) error {
+	if _, err := decodeSweepPoint(b); err == nil {
+		return nil
+	}
+	if _, err := DecodeBundle(b); err == nil {
+		return nil
+	}
+	return fmt.Errorf("campaign: payload is neither a sweep point nor a run bundle")
+}
+
 // AssembleSweepTable reassembles index-ordered point payloads into the
 // rendered figure table — byte-identical to the CLI sweep path
 // (experiments.SimulateSweep + AssembleSweep), pinned by the parity

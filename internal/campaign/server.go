@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"asyncio/internal/campaign/store"
 	"asyncio/internal/metrics"
 )
 
@@ -24,6 +25,25 @@ type Config struct {
 	QueueDepth int
 	// CacheSize bounds the point result LRU (default 1024 entries).
 	CacheSize int
+	// Store, when set, persists computed points behind the LRU: worker
+	// results are written through, and LRU misses fall back to it. The
+	// server takes over reads/writes but not the store's lifecycle —
+	// the caller still owns Open and Close.
+	Store *store.Store
+	// StoreRecovery, when set, is the report from the store's Open scan,
+	// surfaced by /readyz so operators can see what a restart recovered.
+	StoreRecovery *store.RecoveryReport
+	// PointDeadline bounds how long a point may wait plus compute before
+	// its campaign gets a typed DeadlineError (0 = no deadline). On a
+	// single-flight join the flight keeps the latest deadline among its
+	// subscribers.
+	PointDeadline time.Duration
+	// PoisonStrikes is how many panics a point is allowed before it is
+	// poison-quarantined instead of retried (default 3).
+	PoisonStrikes int
+	// RedispatchBackoff is the base backoff before re-dispatching a
+	// panicked point (default 5ms, doubling per strike, capped at 8×).
+	RedispatchBackoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -36,17 +56,28 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize <= 0 {
 		c.CacheSize = 1024
 	}
+	if c.PoisonStrikes <= 0 {
+		c.PoisonStrikes = 3
+	}
+	if c.RedispatchBackoff <= 0 {
+		c.RedispatchBackoff = 5 * time.Millisecond
+	}
 	return c
 }
 
 // Event is one progress record of a campaign, streamed as NDJSON from
 // the events endpoint.
+// A stream always ends with exactly one terminal record (Final true,
+// State complete/failed/aborted) — its absence means the stream was cut
+// off mid-campaign, not that the campaign ended.
 type Event struct {
 	Seq   int    `json:"seq"`
 	Point int    `json:"point"`
 	Done  int    `json:"done"`
 	Total int    `json:"total"`
 	Err   string `json:"err,omitempty"`
+	Final bool   `json:"final,omitempty"`
+	State string `json:"state,omitempty"`
 }
 
 // Campaign is one admitted scenario: a canonical spec plus the
@@ -62,12 +93,36 @@ type Campaign struct {
 	firstErr error
 	events   []Event
 	finished chan struct{} // closed when done == len(results)
+	aborted  chan struct{} // closed when the server shut down first
 }
 
 func newCampaign(id string, spec *Spec, total int) *Campaign {
-	c := &Campaign{id: id, spec: spec, results: make([][]byte, total), finished: make(chan struct{})}
+	c := &Campaign{id: id, spec: spec, results: make([][]byte, total),
+		finished: make(chan struct{}), aborted: make(chan struct{})}
 	c.cond = sync.NewCond(&c.mu)
 	return c
+}
+
+func (c *Campaign) abortedNow() bool {
+	select {
+	case <-c.aborted:
+		return true
+	default:
+		return false
+	}
+}
+
+// abort marks an unfinished campaign as cut off by server shutdown:
+// result waiters get a typed 503 and event streams emit an "aborted"
+// terminal record. A finished campaign is left alone.
+func (c *Campaign) abort() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done == len(c.results) || c.abortedNow() {
+		return
+	}
+	close(c.aborted)
+	c.cond.Broadcast()
 }
 
 // deliver records point i's result. Safe to call from any worker; the
@@ -105,6 +160,9 @@ func (c *Campaign) state() string {
 		}
 		return "complete"
 	default:
+		if c.abortedNow() {
+			return "aborted"
+		}
 		return "running"
 	}
 }
@@ -127,9 +185,10 @@ type task struct {
 // flight is the single-flight record of one point being computed: every
 // campaign wanting the same point subscribes instead of re-queueing it.
 type flight struct {
-	spec  *Spec // canonical spec the point is computed under
-	point int
-	subs  []subscriber
+	spec     *Spec // canonical spec the point is computed under
+	point    int
+	subs     []subscriber
+	deadline time.Time // zero = no deadline; joins extend to the max
 }
 
 type subscriber struct {
@@ -146,25 +205,39 @@ type Server struct {
 	cache *Cache
 	start time.Time
 
+	// compute and nowFn are the worker's seams: production uses
+	// ComputePoint and time.Now; supervision tests inject panicking
+	// computes and fake clocks.
+	compute func(*Spec, int) ([]byte, error)
+	nowFn   func() time.Time
+
 	admitted, rejected *metrics.Counter
 	hits, misses       *metrics.Counter
 	served             *metrics.Counter
+	storeHits          *metrics.Counter
+	panics             *metrics.Counter
+	redispatched       *metrics.Counter
+	poisonedCtr        *metrics.Counter
+	deadlineExpired    *metrics.Counter
 	queueDepth         *metrics.Gauge
 	inflight           *metrics.Gauge
 
-	mu        sync.Mutex
-	cond      *sync.Cond // dispatch wakeups: new work, resume, close
-	campaigns map[string]*Campaign
-	tenants   map[string][]task // per-tenant FIFO
-	ring      []string          // round-robin tenant order (first-seen)
-	next      int               // ring cursor
-	flights   map[string]*flight
-	queued    int // total queued tasks across tenants
-	running   int // tasks currently on a worker
-	paused    bool
-	draining  bool
-	closed    bool
-	log       []Dispatch
+	mu                sync.Mutex
+	cond              *sync.Cond // dispatch wakeups: new work, resume, close
+	campaigns         map[string]*Campaign
+	tenants           map[string][]task // per-tenant FIFO
+	ring              []string          // round-robin tenant order (first-seen)
+	next              int               // ring cursor
+	flights           map[string]*flight
+	queued            int              // total queued tasks across tenants
+	running           int              // tasks currently on a worker
+	pendingRedispatch int              // panicked tasks waiting out their backoff
+	strikes           map[string]int   // consecutive panics per point key
+	poisoned          map[string]error // poison-quarantined keys → stable error
+	paused            bool
+	draining          bool
+	closed            bool
+	log               []Dispatch
 
 	wg sync.WaitGroup
 }
@@ -178,9 +251,13 @@ func NewServer(cfg Config) *Server {
 		reg:       metrics.NewRegistryWithNow(func() time.Duration { return time.Since(start) }),
 		cache:     NewCache(cfg.CacheSize),
 		start:     start,
+		compute:   ComputePoint,
+		nowFn:     time.Now,
 		campaigns: make(map[string]*Campaign),
 		tenants:   make(map[string][]task),
 		flights:   make(map[string]*flight),
+		strikes:   make(map[string]int),
+		poisoned:  make(map[string]error),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.admitted = s.reg.Counter("campaign.admitted")
@@ -188,8 +265,29 @@ func NewServer(cfg Config) *Server {
 	s.hits = s.reg.Counter("campaign.cache.hits")
 	s.misses = s.reg.Counter("campaign.cache.misses")
 	s.served = s.reg.Counter("campaign.points.served")
+	s.storeHits = s.reg.Counter("campaign.store.hits")
+	s.panics = s.reg.Counter("campaign.panics")
+	s.redispatched = s.reg.Counter("campaign.redispatches")
+	s.poisonedCtr = s.reg.Counter("campaign.poisoned")
+	s.deadlineExpired = s.reg.Counter("campaign.deadline.expired")
 	s.queueDepth = s.reg.Gauge("campaign.queue.depth")
 	s.inflight = s.reg.Gauge("campaign.workers.inflight")
+	if st := cfg.Store; st != nil {
+		st.Instrument(s.reg)
+		s.cache.SetFallback(func(key string) ([]byte, bool) {
+			val, ok, err := st.Get(key)
+			if err != nil || !ok {
+				// A read error (rot, I/O) is a miss: recompute rather
+				// than serve unverified bytes. The store counts it.
+				return nil, false
+			}
+			if ValidatePointPayload(val) != nil {
+				return nil, false
+			}
+			s.storeHits.Add(1)
+			return val, true
+		})
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -232,7 +330,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Unlock()
 	for {
 		s.mu.Lock()
-		idle := s.queued == 0 && s.running == 0
+		// A panicked task waiting out its re-dispatch backoff is neither
+		// queued nor running; pendingRedispatch keeps the drain honest.
+		idle := s.queued == 0 && s.running == 0 && s.pendingRedispatch == 0
 		s.mu.Unlock()
 		if idle {
 			return nil
@@ -246,14 +346,23 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // Close stops the worker pool without waiting for queued work and
-// blocks until the workers exit. Campaigns with undispatched points
-// never finish; use Shutdown for a clean stop.
+// blocks until the workers exit. Campaigns with undispatched points are
+// aborted: their result waiters get a typed 503 and their event streams
+// a terminal "aborted" record, so clients can tell a cut-off campaign
+// from a finished one. Use Shutdown for a clean stop.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
 	s.cond.Broadcast()
+	camps := make([]*Campaign, 0, len(s.campaigns))
+	for _, c := range s.campaigns {
+		camps = append(camps, c)
+	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	for _, c := range camps {
+		c.abort()
+	}
 }
 
 // Shutdown drains then closes.
@@ -263,7 +372,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// worker pulls tasks round-robin across tenants and computes them.
+// worker pulls tasks round-robin across tenants and computes them under
+// supervision: a panic is isolated, re-dispatched with capped backoff,
+// and poison-quarantined after PoisonStrikes; an expired deadline gets
+// a typed error instead of a compute.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
@@ -281,13 +393,64 @@ func (s *Server) worker() {
 			continue
 		}
 		f := s.flights[t.key]
+		deadline := f.deadline
 		s.running++
 		s.inflight.Set(float64(s.running))
 		s.mu.Unlock()
 
-		val, err := ComputePoint(f.spec, f.point)
+		var val []byte
+		var err error
+		if !deadline.IsZero() && s.nowFn().After(deadline) {
+			s.deadlineExpired.Add(1)
+			err = &DeadlineError{Key: t.key}
+		} else {
+			val, err = s.runPoint(f.spec, f.point)
+		}
+
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			s.panics.Add(1)
+			s.mu.Lock()
+			s.strikes[t.key]++
+			strike := s.strikes[t.key]
+			retryable := strike < s.cfg.PoisonStrikes && !s.closed
+			backoff := redispatchDelay(s.cfg.RedispatchBackoff, strike)
+			if retryable && !deadline.IsZero() && s.nowFn().Add(backoff).After(deadline) {
+				// No room for another attempt before the deadline.
+				retryable = false
+				s.deadlineExpired.Add(1)
+				err = &DeadlineError{Key: t.key}
+			}
+			if retryable {
+				// Keep the flight open and return the task to its queue
+				// after the backoff — the "restart the worker" move, with
+				// the strike count standing in for supervisor state.
+				s.pendingRedispatch++
+				s.redispatched.Add(1)
+				s.running--
+				s.inflight.Set(float64(s.running))
+				s.mu.Unlock()
+				time.AfterFunc(backoff, func() { s.requeue(t) })
+				continue
+			}
+			if strike >= s.cfg.PoisonStrikes {
+				// Strikes exhausted: quarantine the key so no one ever
+				// retries it again, and fail with a stable typed error.
+				perr := &PoisonedError{Key: t.key, Strikes: strike, Cause: pe}
+				s.poisoned[t.key] = perr
+				s.poisonedCtr.Add(1)
+				err = perr
+			}
+			s.mu.Unlock()
+		}
 		if err == nil {
 			s.cache.Put(t.key, val)
+			if st := s.cfg.Store; st != nil {
+				st.Put(t.key, val)
+			}
+			s.mu.Lock()
+			delete(s.strikes, t.key)
+			s.mu.Unlock()
 		}
 
 		s.mu.Lock()
@@ -364,6 +527,10 @@ func (s *Server) submit(spec *Spec) (*submitResult, error) {
 	}
 
 	c := newCampaign(id, spec, total)
+	var deadline time.Time
+	if s.cfg.PointDeadline > 0 {
+		deadline = s.nowFn().Add(s.cfg.PointDeadline)
+	}
 	type pending struct {
 		key   string
 		point int
@@ -372,6 +539,12 @@ func (s *Server) submit(spec *Spec) (*submitResult, error) {
 	hits := 0
 	for i := 0; i < total; i++ {
 		key := spec.PointKey(i)
+		if perr, ok := s.poisoned[key]; ok {
+			// Poison-quarantined: the stable rejection, never a retry.
+			c.deliver(i, nil, perr)
+			hits++
+			continue
+		}
 		if val, ok := s.cache.Get(key); ok {
 			c.deliver(i, val, nil)
 			hits++
@@ -380,7 +553,11 @@ func (s *Server) submit(spec *Spec) (*submitResult, error) {
 		if f, ok := s.flights[key]; ok {
 			// Another campaign is already computing this point: join
 			// its flight. Counted as a hit — no new simulation work.
+			// The flight keeps the latest deadline among its joiners.
 			f.subs = append(f.subs, subscriber{c: c, point: i})
+			if !f.deadline.IsZero() && (deadline.IsZero() || deadline.After(f.deadline)) {
+				f.deadline = deadline
+			}
 			hits++
 			continue
 		}
@@ -390,8 +567,7 @@ func (s *Server) submit(spec *Spec) (*submitResult, error) {
 		// All or nothing: reject before registering anything, so a 429
 		// leaves no partial campaign behind.
 		s.rejected.Add(1)
-		retry := 1 + s.queued/(s.cfg.Workers*4)
-		return nil, &admissionError{retryAfter: retry}
+		return nil, &admissionError{retryAfter: retryAfterFor(spec.Tenant, s.queued, s.cfg.Workers)}
 	}
 	s.campaigns[id] = c
 	if _, ok := s.tenants[spec.Tenant]; !ok {
@@ -399,7 +575,8 @@ func (s *Server) submit(spec *Spec) (*submitResult, error) {
 		s.ring = append(s.ring, spec.Tenant)
 	}
 	for _, p := range misses {
-		s.flights[p.key] = &flight{spec: spec, point: p.point, subs: []subscriber{{c: c, point: p.point}}}
+		s.flights[p.key] = &flight{spec: spec, point: p.point,
+			subs: []subscriber{{c: c, point: p.point}}, deadline: deadline}
 		s.tenants[spec.Tenant] = append(s.tenants[spec.Tenant], task{key: p.key, tenant: spec.Tenant})
 	}
 	s.queued += len(misses)
@@ -426,6 +603,7 @@ func (s *Server) tenantServedLocked(tenant string, n int) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metricz", s.handleMetricz)
 	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
@@ -434,16 +612,39 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// handleHealth is liveness: the process is up and serving HTTP. It
+// stays 200 through a drain — kubelet-style probes must not kill a
+// daemon that is gracefully finishing its queue. Readiness (should this
+// instance receive new work?) lives at /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// handleReady is readiness: 200 with store/recovery detail while
+// accepting work, 503 once draining or closed.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	draining := s.draining
+	unready := s.draining || s.closed
 	s.mu.Unlock()
-	if draining {
+	if unready {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
+	resp := map[string]any{"status": "ready"}
+	if st := s.cfg.Store; st != nil {
+		stats := st.Stats()
+		resp["store"] = map[string]any{
+			"points":     stats.Points,
+			"segments":   stats.Segments,
+			"live_bytes": stats.LiveBytes,
+		}
+		if rep := s.cfg.StoreRecovery; rep != nil {
+			resp["recovery"] = rep.Summary()
+			resp["recovery_clean"] = rep.Clean()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
@@ -520,6 +721,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if wait := r.URL.Query().Get("wait"); wait != "" {
 		select {
 		case <-res.c.finished:
+		case <-res.c.aborted:
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]string{"error": "campaign aborted: server shut down", "kind": "aborted"})
+			return
 		case <-r.Context().Done():
 			http.Error(w, "client went away", http.StatusRequestTimeout)
 			return
@@ -578,12 +783,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	next := 0
 	for {
 		c.mu.Lock()
-		for next >= len(c.events) && c.done < len(c.results) && r.Context().Err() == nil {
+		for next >= len(c.events) && c.done < len(c.results) && !c.abortedNow() && r.Context().Err() == nil {
 			c.cond.Wait()
 		}
 		evs := c.events[next:]
 		next = len(c.events)
-		finished := c.done == len(c.results)
+		done, total := c.done, len(c.results)
+		ferr := c.firstErr
 		c.mu.Unlock()
 		if r.Context().Err() != nil {
 			return
@@ -591,11 +797,24 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		for _, ev := range evs {
 			enc.Encode(ev)
 		}
+		if done == total || c.abortedNow() {
+			// Exactly one terminal record ends every stream the server
+			// finishes on purpose; a stream without one was cut off.
+			state := "complete"
+			switch {
+			case done < total:
+				state = "aborted"
+			case ferr != nil:
+				state = "failed"
+			}
+			enc.Encode(Event{Seq: next, Point: -1, Done: done, Total: total, Final: true, State: state})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
 		if flusher != nil {
 			flusher.Flush()
-		}
-		if finished {
-			return
 		}
 	}
 }
@@ -609,6 +828,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case <-c.finished:
+	case <-c.aborted:
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"error": "campaign aborted: server shut down", "kind": "aborted"})
+		return
 	case <-r.Context().Done():
 		http.Error(w, "client went away", http.StatusRequestTimeout)
 		return
@@ -622,6 +845,23 @@ func (s *Server) serveResult(w http.ResponseWriter, c *Campaign, format string) 
 	payloads := c.results
 	c.mu.Unlock()
 	if ferr != nil {
+		// Supervision failures are typed on the wire: clients (and the
+		// chaos harness) distinguish a poisoned spec from a transient
+		// panic or a missed deadline without parsing prose.
+		if errors.Is(ferr, ErrSupervised) {
+			kind := "panic"
+			var poe *PoisonedError
+			var dle *DeadlineError
+			switch {
+			case errors.As(ferr, &poe):
+				kind = "poisoned"
+			case errors.As(ferr, &dle):
+				kind = "deadline"
+			}
+			writeJSON(w, http.StatusInternalServerError,
+				map[string]string{"error": ferr.Error(), "kind": kind})
+			return
+		}
 		http.Error(w, "campaign failed: "+ferr.Error(), http.StatusInternalServerError)
 		return
 	}

@@ -291,15 +291,19 @@ func TestServiceTypedErrors(t *testing.T) {
 	}
 	svc.Resume()
 
-	// Drain: stops admission with 503, then the health endpoint agrees.
+	// Drain: stops admission with 503. Readiness agrees; liveness does
+	// not flinch — a draining daemon is still alive.
 	if err := svc.Drain(t.Context()); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
 	if code, _, _ := post(t, ts, "/v1/campaigns", fig3aSpec); code != http.StatusServiceUnavailable {
 		t.Errorf("POST while draining: status %d, want 503", code)
 	}
-	if code, _ := get(t, ts, "/healthz"); code != http.StatusServiceUnavailable {
-		t.Errorf("healthz while draining: status %d, want 503", code)
+	if code, _ := get(t, ts, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining: status %d, want 503", code)
+	}
+	if code, _ := get(t, ts, "/healthz"); code != http.StatusOK {
+		t.Errorf("healthz while draining: status %d, want 200 (liveness)", code)
 	}
 }
 

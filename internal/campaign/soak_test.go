@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -33,6 +34,8 @@ func TestServiceSoak(t *testing.T) {
 	}
 
 	var posts, accepted, throttled atomic.Int64
+	var retryMu sync.Mutex
+	retryByTenant := make(map[string][]int) // observed Retry-After values
 	var wg sync.WaitGroup
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
@@ -55,8 +58,14 @@ func TestServiceSoak(t *testing.T) {
 				case http.StatusTooManyRequests:
 					// Backpressure is a first-class answer; count it,
 					// never swallow it.
-					if resp.Header.Get("Retry-After") == "" {
-						t.Errorf("client %d: 429 without Retry-After", i)
+					ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+					if err != nil {
+						t.Errorf("client %d: 429 with unparseable Retry-After %q",
+							i, resp.Header.Get("Retry-After"))
+					} else {
+						retryMu.Lock()
+						retryByTenant[tenant] = append(retryByTenant[tenant], ra)
+						retryMu.Unlock()
 					}
 					throttled.Add(1)
 				default:
@@ -66,6 +75,36 @@ func TestServiceSoak(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+
+	// Retry-After carries deterministic per-tenant jitter so a burst of
+	// rejected tenants does not return in one synchronized wave. Every
+	// observed value must sit in the tenant's [base, base+maxLoad] band,
+	// and tenants with different jitter must actually see different
+	// values when the load component is equal.
+	const workers = 4
+	maxLoad := queueDepth / (workers * 4)
+	for tenant, vals := range retryByTenant {
+		base := retryAfterFor(tenant, 0, workers)
+		for _, ra := range vals {
+			if ra < base || ra > base+maxLoad {
+				t.Errorf("tenant %s: Retry-After %d outside jittered band [%d, %d]",
+					tenant, ra, base, base+maxLoad)
+			}
+		}
+	}
+	if len(retryByTenant) >= 2 {
+		bases := make(map[int]bool)
+		observed := make(map[int]bool)
+		for tenant, vals := range retryByTenant {
+			bases[retryAfterFor(tenant, 0, workers)] = true
+			for _, ra := range vals {
+				observed[ra] = true
+			}
+		}
+		if len(bases) >= 2 && len(observed) < 2 {
+			t.Errorf("tenants with distinct jitter bases all saw the same Retry-After %v", observed)
+		}
+	}
 
 	if err := svc.Drain(t.Context()); err != nil {
 		t.Fatalf("drain: %v", err)

@@ -1,0 +1,561 @@
+// Package store is the campaign service's durable point-result store:
+// a persistent, content-addressed key/value log that sits behind the
+// in-memory LRU so computed simulation points survive a daemon crash.
+//
+// Layout: a directory of append-only segment files (points-NNNNNN.seg),
+// each a sequence of checksummed frames (internal/recovery's exported
+// record framing) holding one key/value record. Writes are
+// write-behind: Put lands in an in-memory pending table and a
+// background flusher appends it to the active segment, so the serving
+// hot path never waits on disk. Recovery is scan/replay: Open walks
+// every segment in id order, replays records last-write-wins into the
+// index, quarantines torn or corrupt byte ranges with typed errors, and
+// heals the damage by truncating a torn tail or compacting corrupt
+// segments away. Compaction rewrites the live set into a fresh segment
+// and installs it with an atomic rename, so a crash at any point leaves
+// either the old segments or the new one — never a half-written store.
+//
+// The crash-consistency contract mirrors the simulator's recovery
+// journal: after a kill -9 at any instant, every record either survives
+// byte-identical (its frame checksum proves it) or is quarantined and
+// recomputed — a recovered point is indistinguishable from a freshly
+// computed one because point computation is deterministic.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"asyncio/internal/metrics"
+	"asyncio/internal/recovery"
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the segment directory, created if absent. Required.
+	Dir string
+	// Fsync syncs the active segment after every flush batch. Off, a
+	// kill -9 can lose writes the OS had not yet persisted; recovery
+	// still never serves wrong bytes either way.
+	Fsync bool
+	// FlushEvery is the write-behind flush cadence (default 50ms).
+	FlushEvery time.Duration
+	// FlushBytes triggers an early flush once this much is pending
+	// (default 1 MiB).
+	FlushBytes int
+	// SegmentBytes rolls the active segment past this size (default 8 MiB).
+	SegmentBytes int64
+	// CompactMinDead is the dead-byte floor below which auto-compaction
+	// never triggers (default 64 KiB). Compaction also requires dead
+	// bytes to exceed live bytes.
+	CompactMinDead int64
+	// Logf, when set, receives recovery and compaction log lines.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.FlushEvery <= 0 {
+		o.FlushEvery = 50 * time.Millisecond
+	}
+	if o.FlushBytes <= 0 {
+		o.FlushBytes = 1 << 20
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.CompactMinDead <= 0 {
+		o.CompactMinDead = 64 << 10
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// ErrClosed is returned by operations on a closed (or abandoned) store.
+var ErrClosed = errors.New("store: closed")
+
+// ref locates one live record's frame inside a segment.
+type ref struct {
+	seg int   // segment id
+	off int64 // frame start offset
+	n   int   // frame length
+}
+
+// segment is one open segment file.
+type segment struct {
+	id   int
+	f    *os.File
+	size int64
+}
+
+func segName(id int) string { return fmt.Sprintf("points-%06d.seg", id) }
+
+// Store is the durable point store. Safe for concurrent use.
+type Store struct {
+	opts Options
+
+	mu       sync.Mutex
+	index    map[string]ref
+	pending  map[string][]byte // written, not yet flushed; last value wins
+	order    []string          // pending flush order (unique keys)
+	pendingB int
+	segs     map[int]*segment
+	active   *segment
+	liveB    int64 // bytes of live frames
+	deadB    int64 // bytes of superseded frames
+	stopping bool  // Close/Abandon has begun; guards double-stop
+	closed   bool
+
+	lastRep *RecoveryReport // what Open's scan found; Instrument backfills from it
+
+	flushKick chan struct{}
+	stop      chan struct{}
+	wg        sync.WaitGroup
+
+	// Pay-for-use instruments; nil-safe when never registered.
+	mScanRecords, mScanQuarantined *metrics.Counter
+	mFlushRecords, mFlushBytes     *metrics.Counter
+	mCompactions, mReadErrors      *metrics.Counter
+	gPoints, gSegments, gLiveBytes *metrics.Gauge
+}
+
+// Open scans dir, replays every segment into the index (quarantining
+// and healing any damage), and starts the write-behind flusher. The
+// report describes what recovery found; it is never nil on success.
+func Open(opts Options) (*Store, *RecoveryReport, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, nil, errors.New("store: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: creating dir: %w", err)
+	}
+	s := &Store{
+		opts:      opts,
+		index:     make(map[string]ref),
+		pending:   make(map[string][]byte),
+		segs:      make(map[int]*segment),
+		flushKick: make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+	}
+	rep, err := s.recover()
+	if err != nil {
+		s.closeFiles()
+		return nil, nil, err
+	}
+	s.wg.Add(1)
+	go s.flusher()
+	return s, rep, nil
+}
+
+// Instrument registers the store's counters and gauges under
+// "campaign.store.*". Call once, before serving.
+func (s *Store) Instrument(m *metrics.Registry) {
+	s.mScanRecords = m.Counter("campaign.store.scan.records")
+	s.mScanQuarantined = m.Counter("campaign.store.scan.quarantined")
+	s.mFlushRecords = m.Counter("campaign.store.flush.records")
+	s.mFlushBytes = m.Counter("campaign.store.flush.bytes")
+	s.mCompactions = m.Counter("campaign.store.compactions")
+	s.mReadErrors = m.Counter("campaign.store.read.errors")
+	s.gPoints = m.Gauge("campaign.store.points")
+	s.gSegments = m.Gauge("campaign.store.segments")
+	s.gLiveBytes = m.Gauge("campaign.store.live.bytes")
+	s.mu.Lock()
+	if rep := s.lastRep; rep != nil {
+		// Open's scan ran before these counters existed: credit it now.
+		s.mScanRecords.Add(int64(rep.Records))
+		s.mScanQuarantined.Add(int64(len(rep.Quarantined)))
+	}
+	s.updateGaugesLocked()
+	s.mu.Unlock()
+}
+
+func (s *Store) updateGaugesLocked() {
+	s.gPoints.Set(float64(len(s.index) + len(s.pending)))
+	s.gSegments.Set(float64(len(s.segs)))
+	s.gLiveBytes.Set(float64(s.liveB))
+}
+
+// Stats is a point-in-time summary for health endpoints.
+type Stats struct {
+	Points       int // live keys (flushed + pending)
+	Segments     int
+	LiveBytes    int64
+	PendingBytes int
+}
+
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Points:       len(s.index) + len(s.pendingOnlyLocked()),
+		Segments:     len(s.segs),
+		LiveBytes:    s.liveB,
+		PendingBytes: s.pendingB,
+	}
+}
+
+// pendingOnlyLocked returns the pending keys not yet in the index (a
+// pending overwrite of an indexed key is not a new point).
+func (s *Store) pendingOnlyLocked() []string {
+	var only []string
+	for k := range s.pending {
+		if _, ok := s.index[k]; !ok {
+			only = append(only, k)
+		}
+	}
+	return only
+}
+
+// Put stores val under key, write-behind: the call returns once the
+// value is in the pending table. A duplicate Put before the flush
+// replaces the pending value (and identical point payloads make the
+// question moot — values are content-addressed).
+func (s *Store) Put(key string, val []byte) error {
+	if len(key) > maxKeyLen {
+		return fmt.Errorf("store: key %d bytes exceeds limit %d", len(key), maxKeyLen)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if old, ok := s.pending[key]; ok {
+		s.pendingB -= len(old)
+	} else {
+		s.order = append(s.order, key)
+	}
+	s.pending[key] = append([]byte(nil), val...)
+	s.pendingB += len(val)
+	kick := s.pendingB >= s.opts.FlushBytes
+	s.updateGaugesLocked()
+	s.mu.Unlock()
+	if kick {
+		select {
+		case s.flushKick <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// Get returns the stored value for key. ok is false on a clean miss;
+// err is non-nil when the record exists but can no longer be read back
+// verifiably (I/O error or checksum failure) — the caller should treat
+// that as a miss and recompute, never serve unverified bytes.
+func (s *Store) Get(key string) (val []byte, ok bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	if v, ok := s.pending[key]; ok {
+		return append([]byte(nil), v...), true, nil
+	}
+	r, ok := s.index[key]
+	if !ok {
+		return nil, false, nil
+	}
+	seg := s.segs[r.seg]
+	if seg == nil {
+		return nil, false, fmt.Errorf("store: index references missing segment %d", r.seg)
+	}
+	buf := make([]byte, r.n)
+	if _, rerr := seg.f.ReadAt(buf, r.off); rerr != nil {
+		s.mReadErrors.Add(1)
+		return nil, false, fmt.Errorf("store: reading %s @%d: %w", segName(r.seg), r.off, rerr)
+	}
+	payload, _, derr := recovery.DecodeFrame(buf)
+	if derr != nil {
+		// The frame verified at scan time but fails now: on-disk rot.
+		// Typed error, never wrong bytes.
+		s.mReadErrors.Add(1)
+		return nil, false, fmt.Errorf("store: record for %q rotted on disk: %w", key, derr)
+	}
+	k, v, perr := decodeRecord(payload)
+	if perr != nil || k != key {
+		s.mReadErrors.Add(1)
+		return nil, false, fmt.Errorf("store: record for %q decodes to key %q (%v)", key, k, perr)
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index) + len(s.pendingOnlyLocked())
+}
+
+// Flush appends every pending record to the active segment and updates
+// the index. Auto-compacts when the dead-byte ratio warrants it.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	if s.deadB > s.opts.CompactMinDead && s.deadB > s.liveB {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+func (s *Store) flushLocked() error {
+	if len(s.order) == 0 {
+		return nil
+	}
+	for _, key := range s.order {
+		val := s.pending[key]
+		payload := encodeRecord(key, val)
+		frame := recovery.AppendFrame(nil, payload)
+		if err := s.rollIfNeededLocked(int64(len(frame))); err != nil {
+			return err
+		}
+		seg := s.active
+		if _, err := seg.f.WriteAt(frame, seg.size); err != nil {
+			return fmt.Errorf("store: appending to %s: %w", segName(seg.id), err)
+		}
+		if old, ok := s.index[key]; ok {
+			s.deadB += int64(old.n)
+			s.liveB -= int64(old.n)
+		}
+		s.index[key] = ref{seg: seg.id, off: seg.size, n: len(frame)}
+		seg.size += int64(len(frame))
+		s.liveB += int64(len(frame))
+		s.mFlushRecords.Add(1)
+		s.mFlushBytes.Add(int64(len(frame)))
+	}
+	if s.opts.Fsync {
+		if err := s.active.f.Sync(); err != nil {
+			return fmt.Errorf("store: fsync %s: %w", segName(s.active.id), err)
+		}
+	}
+	s.pending = make(map[string][]byte)
+	s.order = s.order[:0]
+	s.pendingB = 0
+	s.updateGaugesLocked()
+	return nil
+}
+
+// rollIfNeededLocked ensures there is an active segment with room for
+// one more frame of the given size, creating or rolling as needed.
+func (s *Store) rollIfNeededLocked(frameLen int64) error {
+	if s.active != nil && (s.active.size == 0 || s.active.size+frameLen <= s.opts.SegmentBytes) {
+		return nil
+	}
+	id := 1
+	if s.active != nil {
+		id = s.active.id + 1
+	} else {
+		for sid := range s.segs {
+			if sid >= id {
+				id = sid + 1
+			}
+		}
+	}
+	return s.openSegmentLocked(id)
+}
+
+// openSegmentLocked creates (or reopens) segment id as the active one.
+func (s *Store) openSegmentLocked(id int) error {
+	path := filepath.Join(s.opts.Dir, segName(id))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: stat segment: %w", err)
+	}
+	seg := &segment{id: id, f: f, size: st.Size()}
+	s.segs[id] = seg
+	s.active = seg
+	if err := s.syncDir(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs the store directory so segment creations and renames
+// are themselves durable.
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("store: opening dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: dir sync: %w", err)
+	}
+	return nil
+}
+
+// Compact rewrites the live record set into one fresh segment and
+// atomically replaces the old segments with it: write to a temp file,
+// fsync, rename into place (with a segment id above every existing
+// one, so last-write-wins replay prefers it even if a crash strands
+// the old segments), then delete the superseded files. Pending writes
+// are flushed first.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	newID := 1
+	for id := range s.segs {
+		if id >= newID {
+			newID = id + 1
+		}
+	}
+	var buf []byte
+	newRefs := make(map[string]ref, len(keys))
+	for _, k := range keys {
+		r := s.index[k]
+		seg := s.segs[r.seg]
+		frame := make([]byte, r.n)
+		if _, err := seg.f.ReadAt(frame, r.off); err != nil {
+			return fmt.Errorf("store: compact read %s @%d: %w", segName(r.seg), r.off, err)
+		}
+		if _, _, err := recovery.DecodeFrame(frame); err != nil {
+			return fmt.Errorf("store: compact found rotted record for %q: %w", k, err)
+		}
+		newRefs[k] = ref{seg: newID, off: int64(len(buf)), n: len(frame)}
+		buf = append(buf, frame...)
+	}
+
+	tmp := filepath.Join(s.opts.Dir, "compact.tmp")
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact tmp: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("store: compact write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: compact fsync: %w", err)
+	}
+	final := filepath.Join(s.opts.Dir, segName(newID))
+	if err := os.Rename(tmp, final); err != nil {
+		f.Close()
+		return fmt.Errorf("store: compact rename: %w", err)
+	}
+	if err := s.syncDir(); err != nil {
+		f.Close()
+		return err
+	}
+
+	// The rename is the commit point; everything after is cleanup.
+	old := s.segs
+	s.segs = map[int]*segment{newID: {id: newID, f: f, size: int64(len(buf))}}
+	s.active = s.segs[newID]
+	s.index = newRefs
+	s.liveB = int64(len(buf))
+	s.deadB = 0
+	for id, seg := range old {
+		seg.f.Close()
+		os.Remove(filepath.Join(s.opts.Dir, segName(id)))
+	}
+	s.mCompactions.Add(1)
+	s.updateGaugesLocked()
+	s.opts.Logf("store: compacted %d records (%d bytes) into %s", len(keys), len(buf), segName(newID))
+	return nil
+}
+
+// flusher is the write-behind loop: flush on a cadence, early when the
+// pending table grows past FlushBytes.
+func (s *Store) flusher() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.FlushEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		case <-s.flushKick:
+		}
+		s.mu.Lock()
+		if !s.closed {
+			if err := s.flushLocked(); err != nil {
+				s.opts.Logf("store: background flush: %v", err)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Close flushes pending writes, fsyncs, and releases the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.stopping = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ferr := s.flushLocked()
+	if s.active != nil {
+		if err := s.active.f.Sync(); err != nil && ferr == nil {
+			ferr = err
+		}
+	}
+	s.closed = true
+	s.closeFiles()
+	return ferr
+}
+
+// Abandon releases the store WITHOUT flushing pending writes — the
+// in-process stand-in for kill -9 in crash tests. Unflushed points are
+// lost (and simply recomputed later); flushed frames stay on disk for
+// the next Open to recover.
+func (s *Store) Abandon() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopping {
+		return
+	}
+	s.stopping = true
+	close(s.stop)
+	s.closed = true
+	s.closeFiles()
+}
+
+func (s *Store) closeFiles() {
+	for _, seg := range s.segs {
+		seg.f.Close()
+	}
+	s.segs = map[int]*segment{}
+	s.active = nil
+}

@@ -1,0 +1,115 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Worker supervision: a panicking point computation must never take the
+// daemon down, never stall other tenants, and never retry forever. The
+// worker wrapper converts a panic into a typed *PanicError; the server
+// re-dispatches the point with capped exponential backoff, and after
+// PoisonStrikes consecutive panics the key is poison-quarantined — every
+// later request for it gets the same stable *PoisonedError instead of
+// another doomed retry.
+
+// ErrSupervised is wrapped by every supervision verdict (panic, poison,
+// deadline), so callers can errors.Is against one sentinel.
+var ErrSupervised = errors.New("campaign: point supervision error")
+
+// PanicError reports that computing a point panicked. It wraps
+// ErrSupervised.
+type PanicError struct {
+	Key   string // spec.PointKey of the panicking point
+	Value any    // the recovered panic value
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("campaign: computing point %s panicked: %v", e.Key, e.Value)
+}
+
+func (e *PanicError) Unwrap() error { return ErrSupervised }
+
+// PoisonedError is the stable rejection for a point that panicked
+// PoisonStrikes times: the service stops retrying and answers every
+// request for the key with this error. It wraps ErrSupervised and the
+// final panic.
+type PoisonedError struct {
+	Key     string
+	Strikes int
+	Cause   error // the last *PanicError
+}
+
+func (e *PoisonedError) Error() string {
+	return fmt.Sprintf("campaign: point %s poisoned after %d panics: %v", e.Key, e.Strikes, e.Cause)
+}
+
+func (e *PoisonedError) Unwrap() error { return ErrSupervised }
+
+// DeadlineError reports that a point's request deadline expired before
+// a worker could (re)compute it. It wraps ErrSupervised.
+type DeadlineError struct {
+	Key string
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("campaign: point %s exceeded its request deadline", e.Key)
+}
+
+func (e *DeadlineError) Unwrap() error { return ErrSupervised }
+
+// runPoint computes one point under panic isolation: a panic anywhere
+// in the compute path surfaces as a typed *PanicError instead of
+// killing the worker goroutine.
+func (s *Server) runPoint(spec *Spec, point int) (val []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			val = nil
+			err = &PanicError{Key: spec.PointKey(point), Value: r}
+		}
+	}()
+	return s.compute(spec, point)
+}
+
+// redispatchDelay is the capped exponential backoff before retrying a
+// panicked point: base, 2×base, 4×base, ... capped at 8×base.
+func redispatchDelay(base time.Duration, strike int) time.Duration {
+	d := base
+	for i := 1; i < strike && d < 8*base; i++ {
+		d *= 2
+	}
+	if d > 8*base {
+		d = 8 * base
+	}
+	return d
+}
+
+// requeue returns a re-dispatched task to its tenant's queue once its
+// backoff elapses. Runs from a time.AfterFunc timer; Drain counts the
+// pending timer via pendingRedispatch so a drain cannot complete with a
+// re-dispatch still in the air.
+func (s *Server) requeue(t task) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pendingRedispatch--
+	if s.closed {
+		// The abort path answers this task's subscribers.
+		return
+	}
+	s.tenants[t.tenant] = append(s.tenants[t.tenant], t)
+	s.queued++
+	s.queueDepth.Set(float64(s.queued))
+	s.cond.Broadcast()
+}
+
+// retryAfterFor computes the 429 Retry-After: a load-proportional base
+// plus a deterministic per-tenant jitter, so simultaneously rejected
+// tenants do not all come back in the same second (a thundering-herd
+// retry storm) while any one tenant always sees a stable value.
+func retryAfterFor(tenant string, queued, workers int) int {
+	h := fnv.New32a()
+	h.Write([]byte(tenant))
+	return 1 + queued/(workers*4) + int(h.Sum32()%5)
+}
